@@ -1,0 +1,216 @@
+(* hive_sim: command-line driver for the simulated Hive system.
+
+     hive_sim workload pmake --cells 4
+     hive_sim workload ocean --cells 1 --smp
+     hive_sim fault node --cells 4 --node 2 --at-ms 300
+     hive_sim fault corrupt-cow --cells 4 --victim 1
+     hive_sim sweep pmake *)
+
+open Cmdliner
+
+let boot ~ncells ~smp ~oracle =
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    if smp then { Flash.Config.default with firewall_enabled = false }
+    else Flash.Config.default
+  in
+  let sys =
+    Hive.System.boot ~mcfg ~ncells ~multicellular:(not smp) ~oracle
+      ~wax:(not smp) eng
+  in
+  (eng, sys)
+
+let setup_and_run sys = function
+  | "pmake" ->
+    Workloads.Pmake.setup sys Workloads.Pmake.default;
+    Workloads.Pmake.run sys
+  | "ocean" ->
+    Workloads.Ocean.setup sys Workloads.Ocean.default;
+    Workloads.Ocean.run sys
+  | "raytrace" -> Workloads.Raytrace.run sys
+  | other -> failwith ("unknown workload: " ^ other)
+
+let verify_of sys = function
+  | "pmake" -> Workloads.Pmake.verify sys
+  | "ocean" -> Workloads.Ocean.verify sys
+  | "raytrace" -> Workloads.Raytrace.verify sys
+  | _ -> []
+
+let print_counters sys =
+  let _all, per_cell = Hive.System.counters sys in
+  List.iter
+    (fun (id, cs) ->
+      Printf.printf "  cell %d:\n" id;
+      List.iter (fun (k, v) -> Printf.printf "    %-28s %d\n" k v) cs)
+    per_cell
+
+(* ---- workload command ---- *)
+
+let run_workload name ncells smp verbose =
+  if verbose then Sim.Trace.set_level Sim.Trace.Info;
+  let _eng, sys = boot ~ncells ~smp ~oracle:false in
+  let result, _ = setup_and_run sys name in
+  Printf.printf "%s on %s (%d cell%s): %.3f s simulated%s\n"
+    result.Workloads.Workload.name
+    (if smp then "SMP-OS baseline" else "Hive")
+    ncells
+    (if ncells = 1 then "" else "s")
+    (Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns)
+    (if result.Workloads.Workload.completed then "" else "  [INCOMPLETE]");
+  List.iter
+    (fun (path, v) ->
+      if v <> Workloads.Workload.Match then
+        Printf.printf "  output %s: %s\n" path
+          (Workloads.Workload.verify_outcome_to_string v))
+    (verify_of sys name);
+  if verbose then print_counters sys;
+  0
+
+(* ---- sweep command: all configurations of one workload ---- *)
+
+let run_sweep name =
+  let time ncells smp =
+    let _eng, sys = boot ~ncells ~smp ~oracle:false in
+    let result, _ = setup_and_run sys name in
+    Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns
+  in
+  let base = time 1 true in
+  Printf.printf "%s: IRIX-mode %.2fs" name base;
+  List.iter
+    (fun n ->
+      let t = time n false in
+      Printf.printf "   %d cell%s %+.1f%%" n
+        (if n = 1 then "" else "s")
+        ((t -. base) /. base *. 100.))
+    [ 1; 2; 4 ];
+  print_newline ();
+  0
+
+(* ---- fault command ---- *)
+
+let run_fault kind ncells node victim at_ms oracle =
+  let eng, sys = boot ~ncells ~smp:false ~oracle in
+  Workloads.Pmake.setup sys Workloads.Pmake.default;
+  let t_inject = ref 0L in
+  let rng = Sim.Prng.create 1 in
+  ignore
+    (Sim.Engine.spawn eng ~name:"injector" (fun () ->
+         Sim.Engine.delay (Int64.of_int (at_ms * 1_000_000));
+         t_inject := Sim.Engine.time ();
+         match kind with
+         | "node" -> Hive.System.inject_node_failure sys node
+         | "corrupt-cow" | "corrupt-map" ->
+           let rec attempt tries =
+             if tries > 0 then begin
+               let injected =
+                 List.exists
+                   (fun (p : Hive.Types.process) ->
+                     p.Hive.Types.proc_cell = victim
+                     && Hive.System.corrupt_address_map sys p
+                          Hive.System.Random_address rng)
+                   sys.Hive.Types.cells.(victim).Hive.Types.processes
+               in
+               if not injected then begin
+                 Sim.Engine.delay 20_000_000L;
+                 attempt (tries - 1)
+               end
+               else t_inject := Sim.Engine.time ()
+             end
+           in
+           attempt 100
+         | other -> failwith ("unknown fault kind: " ^ other)));
+  let result, _ = Workloads.Pmake.run sys in
+  Printf.printf "pmake with %s fault: %.3f s simulated, %s\n" kind
+    (Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns)
+    (if result.Workloads.Workload.completed then "driver completed"
+     else "driver died");
+  (match Hive.System.detection_latency_ns sys ~t_fault:!t_inject with
+  | Some ns ->
+    Printf.printf "detection latency: %.1f ms\n" (Int64.to_float ns /. 1e6)
+  | None -> Printf.printf "no recovery round recorded\n");
+  Printf.printf "live cells: [%s]\n"
+    (String.concat "; "
+       (List.map string_of_int (Hive.System.live_cells sys)));
+  let corrupt =
+    List.filter
+      (fun (_, v) -> v = Workloads.Workload.Corrupt)
+      (Workloads.Pmake.verify sys)
+  in
+  Printf.printf "corrupt outputs: %d (must be 0)\n" (List.length corrupt);
+  if corrupt = [] then 0 else 1
+
+(* ---- cmdliner terms ---- *)
+
+let cells_arg =
+  Arg.(value & opt int 4 & info [ "cells" ] ~docv:"N" ~doc:"Number of cells.")
+
+let smp_arg =
+  Arg.(
+    value & flag
+    & info [ "smp" ]
+        ~doc:"Run the SMP-OS baseline (one kernel, firewall disabled).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print kernel counters.")
+
+let workload_name =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("pmake", "pmake"); ("ocean", "ocean"); ("raytrace", "raytrace") ])) None
+    & info [] ~docv:"WORKLOAD" ~doc:"pmake, ocean or raytrace.")
+
+let workload_cmd =
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Run one workload on a chosen configuration.")
+    Term.(const run_workload $ workload_name $ cells_arg $ smp_arg $ verbose_arg)
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run a workload across all cell configurations.")
+    Term.(const run_sweep $ workload_name)
+
+let fault_kind =
+  Arg.(
+    required
+    & pos 0
+        (some
+           (enum
+              [ ("node", "node"); ("corrupt-cow", "corrupt-cow");
+                ("corrupt-map", "corrupt-map") ]))
+        None
+    & info [] ~docv:"KIND" ~doc:"node, corrupt-cow or corrupt-map.")
+
+let node_arg =
+  Arg.(value & opt int 2 & info [ "node" ] ~docv:"N" ~doc:"Node to fail.")
+
+let victim_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "victim" ] ~docv:"CELL" ~doc:"Cell to corrupt.")
+
+let at_ms_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "at-ms" ] ~docv:"MS" ~doc:"Injection time in milliseconds.")
+
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:"Use the failure oracle instead of distributed agreement.")
+
+let fault_cmd =
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:"Inject a fault during pmake and report containment.")
+    Term.(
+      const run_fault $ fault_kind $ cells_arg $ node_arg $ victim_arg
+      $ at_ms_arg $ oracle_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "hive_sim" ~version:"1.0"
+       ~doc:"Simulated Hive multicellular OS on a FLASH machine model.")
+    [ workload_cmd; sweep_cmd; fault_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/compute_server.ml: Array Bytes Fun Hive Int64 List Printf Sim String

@@ -1,0 +1,1 @@
+examples/compute_server.mli:

@@ -1,0 +1,1 @@
+examples/parallel_app.ml: Array Hive List Printf Sim Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bytes Flash Hive Int64 Printf Sim

@@ -1,0 +1,1 @@
+examples/rolling_upgrade.ml: Array Hive Int64 List Printf Sim String

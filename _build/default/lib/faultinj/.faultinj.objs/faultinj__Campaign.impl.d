@@ -1,0 +1,1 @@
+lib/faultinj/campaign.ml: Array Bytes Flash Hive Int64 List Printf Sim String Workloads

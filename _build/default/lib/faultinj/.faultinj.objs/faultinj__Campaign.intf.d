@@ -1,0 +1,1 @@
+lib/faultinj/campaign.mli: Hive Sim

@@ -1,0 +1,65 @@
+(** Fault-injection campaigns (Section 7.4).
+
+   Each test boots a four-cell system, runs a workload, injects one fault
+   (a fail-stop node failure or a kernel data corruption), and then:
+
+   - measures the latency until the last cell enters recovery;
+   - checks that the fault's effects were contained: all other cells
+     survive;
+   - runs the pmake workload as a system correctness check (it forks
+     processes on all surviving cells);
+   - compares all output files of the workload run and the check run
+     against reference copies to detect data corruption (stale data after
+     a preemptive discard is data loss, not corruption).
+
+   The workload/timing combinations follow Table 7.4: node failure during
+   process creation (pmake), during copy-on-write search (raytrace), and
+   at random times (pmake); corrupt pointer in a process address map
+   (pmake) and in the copy-on-write tree (raytrace). *)
+
+type fault =
+    Node_failure of { node : int; at_ns : int64; }
+  | Corrupt_map of { victim_cell : int; at_ns : int64;
+      mode : Hive.System.corruption_mode;
+    }
+  | Corrupt_cow of { victim_cell : int; at_ns : int64;
+      mode : Hive.System.corruption_mode;
+    }
+type outcome = {
+  fault_desc : string;
+  injected_cell : int;
+  contained : bool;
+  detection_ms : float option;
+  recovery_ms : float option;
+  check_passed : bool;
+  corrupt_outputs : string list;
+  survivors : int list;
+}
+type workload_kind = Use_pmake | Use_raytrace
+val pick_victim_process :
+  Hive.Types.system -> cell_id:int -> Hive.Types.process option
+val pick_cow_node :
+  Hive.Types.system ->
+  cell_id:Hive.Types.cell_id -> Hive.Types.cow_ref option
+val inject :
+  Hive.Types.system -> Sim.Prng.t -> fault -> Hive.Types.cell_id option
+val fault_time : fault -> int64
+val describe : fault -> string
+val run_test : ?seed:int -> workload:workload_kind -> fault -> outcome
+val passed : outcome -> bool
+type campaign_row = {
+  label : string;
+  tests : int;
+  all_contained : bool;
+  avg_detect_ms : float;
+  max_detect_ms : float;
+  avg_recovery_ms : float;
+  failures : string list;
+}
+val summarize : string -> outcome list -> campaign_row
+val modes : Hive.System.corruption_mode array
+val node_failure_during_creation : tests:int -> campaign_row
+val node_failure_during_cow : tests:int -> campaign_row
+val node_failure_random : tests:int -> campaign_row
+val corrupt_map_campaign : tests:int -> campaign_row
+val corrupt_cow_campaign : tests:int -> campaign_row

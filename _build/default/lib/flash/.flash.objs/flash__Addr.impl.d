@@ -1,0 +1,1 @@
+lib/flash/addr.ml: Config Format

@@ -1,0 +1,1 @@
+lib/flash/addr.mli: Config Format

@@ -1,0 +1,1 @@
+lib/flash/config.ml: Int64

@@ -1,0 +1,1 @@
+lib/flash/config.mli:

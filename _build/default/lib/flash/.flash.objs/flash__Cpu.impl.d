@@ -1,0 +1,1 @@
+lib/flash/cpu.ml: Int64 Sim

@@ -1,0 +1,1 @@
+lib/flash/cpu.mli: Sim

@@ -1,0 +1,1 @@
+lib/flash/disk.ml: Config Int64 Sim

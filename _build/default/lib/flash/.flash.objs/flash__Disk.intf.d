@@ -1,0 +1,1 @@
+lib/flash/disk.mli: Config Sim

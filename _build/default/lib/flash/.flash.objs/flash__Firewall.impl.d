@@ -1,0 +1,1 @@
+lib/flash/firewall.ml: Addr Array Config Int64 List

@@ -1,0 +1,1 @@
+lib/flash/firewall.mli: Addr Config

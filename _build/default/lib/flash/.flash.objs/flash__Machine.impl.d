@@ -1,0 +1,1 @@
+lib/flash/machine.ml: Array Config Cpu Disk Format List Memory Sim Sips

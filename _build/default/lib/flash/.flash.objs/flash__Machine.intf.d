@@ -1,0 +1,1 @@
+lib/flash/machine.mli: Config Cpu Disk Firewall Format Memory Sim Sips

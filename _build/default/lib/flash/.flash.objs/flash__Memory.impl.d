@@ -1,0 +1,1 @@
+lib/flash/memory.ml: Addr Array Bytes Char Config Firewall Int64 Sim

@@ -1,0 +1,1 @@
+lib/flash/memory.mli: Addr Bytes Config Firewall Sim

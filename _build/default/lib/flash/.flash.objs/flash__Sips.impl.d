@@ -1,0 +1,1 @@
+lib/flash/sips.ml: Array Config Int64 Sim

@@ -1,0 +1,1 @@
+lib/flash/sips.mli: Config Sim

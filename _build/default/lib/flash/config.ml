@@ -1,0 +1,64 @@
+type t = {
+  nodes : int;
+  mem_pages_per_node : int;
+  page_size : int;
+  cycle_ns : int64;
+  l1_hit_ns : int64;
+  l2_hit_ns : int64;
+  mem_ns : int64;
+  cache_line : int;
+  ipi_ns : int64;
+  sips_extra_ns : int64;
+  firewall_enabled : bool;
+  firewall_check_ns : int64;
+  firewall_writeback_check_ns : int64;
+  uncached_op_ns : int64;
+  disk_avg_access_ns : int64;
+  disk_track_ns : int64;
+  disk_bytes_per_ns : float;
+  dma_setup_ns : int64;
+}
+
+(* The paper's experimental machine: four 200-MHz R4000-class nodes, 32 MB
+   per node, 700 ns average main-memory latency, 128-byte secondary cache
+   lines, 700 ns IPI delivery and 300 ns extra for SIPS data access, and an
+   HP-97560-class disk per node. *)
+let default =
+  {
+    nodes = 4;
+    mem_pages_per_node = 8192;
+    page_size = 4096;
+    cycle_ns = 5L;
+    l1_hit_ns = 5L;
+    l2_hit_ns = 50L;
+    mem_ns = 700L;
+    cache_line = 128;
+    ipi_ns = 700L;
+    sips_extra_ns = 300L;
+    firewall_enabled = true;
+    firewall_check_ns = 40L;
+    firewall_writeback_check_ns = 25L;
+    uncached_op_ns = 500L;
+    disk_avg_access_ns = 15_000_000L;
+    disk_track_ns = 2_000_000L;
+    disk_bytes_per_ns = 2.3e-3;
+    (* ~2.3 MB/s, HP 97560 class *)
+    dma_setup_ns = 30_000L;
+  }
+
+let small =
+  { default with nodes = 2; mem_pages_per_node = 256 }
+
+let with_nodes cfg n = { cfg with nodes = n }
+
+let total_pages cfg = cfg.nodes * cfg.mem_pages_per_node
+
+let mem_bytes_per_node cfg = cfg.mem_pages_per_node * cfg.page_size
+
+let lines_for cfg bytes = (bytes + cfg.cache_line - 1) / cfg.cache_line
+
+(* Cost of streaming [bytes] through the cache, missing on each line. *)
+let copy_cost cfg bytes =
+  Int64.mul (Int64.of_int (lines_for cfg bytes)) cfg.mem_ns
+
+let cycles cfg n = Int64.mul (Int64.of_int n) cfg.cycle_ns

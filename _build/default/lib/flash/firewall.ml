@@ -1,0 +1,78 @@
+exception Not_local_processor
+
+type t = {
+  cfg : Config.t;
+  bits : int64 array array; (* bits.(node).(local page index) *)
+  mutable changes : int; (* count of firewall status updates, for benches *)
+}
+
+let create cfg =
+  {
+    cfg;
+    bits = Array.init cfg.Config.nodes (fun _ -> Array.make cfg.Config.mem_pages_per_node 0L);
+    changes = 0;
+  }
+
+let bit_of_proc proc = Int64.shift_left 1L (proc land 63)
+
+let vector t ~pfn =
+  let node = Addr.node_of_pfn t.cfg pfn in
+  t.bits.(node).(Addr.local_index t.cfg pfn)
+
+let allowed t ~pfn ~proc =
+  Int64.logand (vector t ~pfn) (bit_of_proc proc) <> 0L
+
+let check_local t ~by ~pfn =
+  (* Only the local processor can change the firewall bits for the memory
+     of its node. *)
+  if Addr.node_of_pfn t.cfg pfn <> by then raise Not_local_processor
+
+let set_vector t ~by ~pfn v =
+  check_local t ~by ~pfn;
+  let node = Addr.node_of_pfn t.cfg pfn in
+  let i = Addr.local_index t.cfg pfn in
+  if t.bits.(node).(i) <> v then t.changes <- t.changes + 1;
+  t.bits.(node).(i) <- v
+
+let grant t ~by ~pfn ~proc =
+  set_vector t ~by ~pfn (Int64.logor (vector t ~pfn) (bit_of_proc proc))
+
+let revoke t ~by ~pfn ~proc =
+  set_vector t ~by ~pfn
+    (Int64.logand (vector t ~pfn) (Int64.lognot (bit_of_proc proc)))
+
+let grant_many t ~by ~pfn procs =
+  let v =
+    List.fold_left (fun acc p -> Int64.logor acc (bit_of_proc p)) (vector t ~pfn) procs
+  in
+  set_vector t ~by ~pfn v
+
+let revoke_all_remote t ~by ~pfn =
+  set_vector t ~by ~pfn (bit_of_proc by)
+
+let clear t ~by ~pfn = set_vector t ~by ~pfn 0L
+
+let remote_writable_pages t ~node =
+  let cfg = t.cfg in
+  let count = ref 0 in
+  let base = Addr.first_pfn_of_node cfg node in
+  for i = 0 to cfg.Config.mem_pages_per_node - 1 do
+    let v = t.bits.(node).(i) in
+    let others = Int64.logand v (Int64.lognot (bit_of_proc node)) in
+    if others <> 0L then incr count;
+    ignore base
+  done;
+  !count
+
+let writable_by t ~proc =
+  let cfg = t.cfg in
+  let acc = ref [] in
+  for node = cfg.Config.nodes - 1 downto 0 do
+    for i = cfg.Config.mem_pages_per_node - 1 downto 0 do
+      if Int64.logand t.bits.(node).(i) (bit_of_proc proc) <> 0L then
+        acc := (Addr.first_pfn_of_node cfg node + i) :: !acc
+    done
+  done;
+  !acc
+
+let change_count t = t.changes

@@ -1,0 +1,49 @@
+(** The FLASH firewall: a 64-bit write-permission vector per 4 KB page of
+    main memory, stored and checked by the coherence controller of the
+    owning node (Section 4.2 of the paper).
+
+    A write request to a page whose corresponding bit is not set fails with
+    a bus error. Only the local processor can change the firewall bits for
+    the memory of its node; attempts by remote processors raise
+    {!Not_local_processor}. *)
+
+exception Not_local_processor
+
+type t
+
+val create : Config.t -> t
+
+(** The raw 64-bit permission vector of a page. *)
+val vector : t -> pfn:Addr.pfn -> int64
+
+(** Does [proc] hold write permission to [pfn]? *)
+val allowed : t -> pfn:Addr.pfn -> proc:int -> bool
+
+(** All of these raise {!Not_local_processor} unless [by] is the processor
+    of the node owning [pfn]. *)
+
+val set_vector : t -> by:int -> pfn:Addr.pfn -> int64 -> unit
+
+val grant : t -> by:int -> pfn:Addr.pfn -> proc:int -> unit
+
+val revoke : t -> by:int -> pfn:Addr.pfn -> proc:int -> unit
+
+(** Grant write permission to all processors of a cell at once (the Hive
+    firewall-management policy grants per cell, not per processor). *)
+val grant_many : t -> by:int -> pfn:Addr.pfn -> int list -> unit
+
+(** Leave only the local processor's bit set. *)
+val revoke_all_remote : t -> by:int -> pfn:Addr.pfn -> unit
+
+val clear : t -> by:int -> pfn:Addr.pfn -> unit
+
+(** Number of this node's pages writable by at least one remote processor
+    (the paper's Section 4.2 firewall statistic). *)
+val remote_writable_pages : t -> node:int -> int
+
+(** Every pfn (machine-wide) writable by [proc]; used by preemptive
+    discard. *)
+val writable_by : t -> proc:int -> Addr.pfn list
+
+(** Total number of firewall status changes so far (performance statistic). *)
+val change_count : t -> int

@@ -1,0 +1,186 @@
+type error_cause = Node_failed | Cutoff | Firewall_denied | Invalid_address
+
+exception Bus_error of { addr : Addr.t; cause : error_cause }
+
+type node_mem = {
+  data : Bytes.t;
+  mutable accessible : bool; (* false once failed *)
+  mutable cutoff : bool; (* memory cutoff: remote accesses refused *)
+}
+
+type t = {
+  cfg : Config.t;
+  firewall : Firewall.t;
+  nodes : node_mem array;
+  reads : Sim.Stats.counter;
+  writes : Sim.Stats.counter;
+  remote_write_miss_ns : Sim.Stats.summary;
+  wild_writes : Sim.Stats.counter;
+}
+
+let create cfg =
+  {
+    cfg;
+    firewall = Firewall.create cfg;
+    nodes =
+      Array.init cfg.Config.nodes (fun _ ->
+          {
+            data = Bytes.make (Config.mem_bytes_per_node cfg) '\000';
+            accessible = true;
+            cutoff = false;
+          });
+    reads = Sim.Stats.counter ();
+    writes = Sim.Stats.counter ();
+    remote_write_miss_ns = Sim.Stats.summary ~keep_samples:false ();
+    wild_writes = Sim.Stats.counter ();
+  }
+
+let firewall t = t.firewall
+
+let cfg t = t.cfg
+
+let fail_node t node = t.nodes.(node).accessible <- false
+
+let cutoff_node t node = t.nodes.(node).cutoff <- true
+
+let restore_node t node =
+  let nm = t.nodes.(node) in
+  nm.accessible <- true;
+  nm.cutoff <- false;
+  Bytes.fill nm.data 0 (Bytes.length nm.data) '\000'
+
+let node_accessible t node = t.nodes.(node).accessible
+
+let bounds_check t addr len =
+  if
+    len < 0 || addr < 0
+    || addr + len > Config.total_pages t.cfg * t.cfg.Config.page_size
+  then raise (Bus_error { addr; cause = Invalid_address })
+
+let target t ~by addr len =
+  bounds_check t addr len;
+  let node = Addr.node_of_addr t.cfg addr in
+  let nm = t.nodes.(node) in
+  if not nm.accessible then raise (Bus_error { addr; cause = Node_failed });
+  if nm.cutoff && node <> by then raise (Bus_error { addr; cause = Cutoff });
+  (node, nm)
+
+(* Latency of an access that misses to memory: one miss per cache line
+   touched. Reads and writes share the model; writes to remote pages add
+   the firewall ownership-request check. *)
+let access_cost t ~by ~node ~write bytes =
+  let lines = Config.lines_for t.cfg (max 1 bytes) in
+  let base = Int64.mul (Int64.of_int lines) t.cfg.Config.mem_ns in
+  if write && t.cfg.Config.firewall_enabled then begin
+    let check =
+      Int64.mul (Int64.of_int lines) t.cfg.Config.firewall_check_ns
+    in
+    let cost = Int64.add base check in
+    if node <> by then
+      Sim.Stats.add t.remote_write_miss_ns
+        (Int64.to_float (Int64.div cost (Int64.of_int lines)));
+    cost
+  end
+  else begin
+    if write && node <> by then
+      Sim.Stats.add t.remote_write_miss_ns
+        (Int64.to_float t.cfg.Config.mem_ns);
+    base
+  end
+
+let read eng t ~by addr len =
+  let node, nm = target t ~by addr len in
+  Sim.Stats.incr t.reads;
+  Sim.Engine.delay (access_cost t ~by ~node ~write:false len);
+  (* Re-check after the delay: the node may have died mid-access. *)
+  if not nm.accessible then raise (Bus_error { addr; cause = Node_failed });
+  ignore eng;
+  Bytes.sub nm.data (addr - node * Config.mem_bytes_per_node t.cfg) len
+
+(* Cached read: the line is expected hot in the local cache (kernel
+   structures the owner touches constantly); charges L2-hit latency but
+   obeys the same fault model. *)
+let read_cached eng t ~by addr len =
+  let _node, nm = target t ~by addr len in
+  Sim.Stats.incr t.reads;
+  let lines = Config.lines_for t.cfg (max 1 len) in
+  Sim.Engine.delay (Int64.mul (Int64.of_int lines) t.cfg.Config.l2_hit_ns);
+  if not nm.accessible then raise (Bus_error { addr; cause = Node_failed });
+  ignore eng;
+  Bytes.sub nm.data
+    (addr - Addr.node_of_addr t.cfg addr * Config.mem_bytes_per_node t.cfg)
+    len
+
+let read_u8 eng t ~by addr =
+  Char.code (Bytes.get (read eng t ~by addr 1) 0)
+
+let read_i64 eng t ~by addr =
+  Bytes.get_int64_le (read eng t ~by addr 8) 0
+
+let write eng t ~by addr bytes =
+  let len = Bytes.length bytes in
+  let node, nm = target t ~by addr len in
+  (* The coherence controller checks the firewall on each request for
+     cache-line ownership; a write to a page whose bit is not set for the
+     writing processor fails with a bus error. *)
+  if t.cfg.Config.firewall_enabled then begin
+    let first = Addr.pfn_of_addr t.cfg addr in
+    let last = Addr.pfn_of_addr t.cfg (addr + max 0 (len - 1)) in
+    for pfn = first to last do
+      if not (Firewall.allowed t.firewall ~pfn ~proc:by) then
+        raise (Bus_error { addr; cause = Firewall_denied })
+    done
+  end;
+  Sim.Stats.incr t.writes;
+  Sim.Engine.delay (access_cost t ~by ~node ~write:true len);
+  if not nm.accessible then raise (Bus_error { addr; cause = Node_failed });
+  ignore eng;
+  Bytes.blit bytes 0 nm.data (addr - node * Config.mem_bytes_per_node t.cfg) len
+
+let write_u8 eng t ~by addr v =
+  write eng t ~by addr (Bytes.make 1 (Char.chr (v land 0xff)))
+
+let write_i64 eng t ~by addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write eng t ~by addr b
+
+(* Out-of-band access used by fault injection and test assertions: no
+   latency, no firewall, no liveness checks. A wild write issued through
+   [poke_wild] still honours the firewall (that is the point of the
+   hardware) but bypasses the latency model. *)
+let peek t addr len =
+  bounds_check t addr len;
+  let node = Addr.node_of_addr t.cfg addr in
+  Bytes.sub t.nodes.(node).data
+    (addr - node * Config.mem_bytes_per_node t.cfg)
+    len
+
+let poke t addr bytes =
+  let len = Bytes.length bytes in
+  bounds_check t addr len;
+  let node = Addr.node_of_addr t.cfg addr in
+  Bytes.blit bytes 0 t.nodes.(node).data
+    (addr - node * Config.mem_bytes_per_node t.cfg)
+    len
+
+let poke_wild t ~by addr bytes =
+  let len = Bytes.length bytes in
+  bounds_check t addr len;
+  if t.cfg.Config.firewall_enabled then begin
+    let first = Addr.pfn_of_addr t.cfg addr in
+    let last = Addr.pfn_of_addr t.cfg (addr + max 0 (len - 1)) in
+    for pfn = first to last do
+      if not (Firewall.allowed t.firewall ~pfn ~proc:by) then
+        raise (Bus_error { addr; cause = Firewall_denied })
+    done
+  end;
+  Sim.Stats.incr t.wild_writes;
+  poke t addr bytes
+
+let stats t =
+  ( Sim.Stats.get t.reads,
+    Sim.Stats.get t.writes,
+    Sim.Stats.get t.wild_writes )
+
+let remote_write_miss_avg_ns t = Sim.Stats.mean t.remote_write_miss_ns

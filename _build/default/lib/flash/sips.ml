@@ -1,0 +1,70 @@
+type message = ..
+
+type kind = Request | Reply
+
+exception Too_large of int
+
+exception Target_failed of int
+
+type envelope = { src_proc : int; size : int; msg : message }
+
+type node_queues = {
+  requests : envelope Sim.Mailbox.t;
+  replies : envelope Sim.Mailbox.t;
+  mutable up : bool;
+}
+
+type t = {
+  cfg : Config.t;
+  eng : Sim.Engine.t;
+  queues : node_queues array;
+  sends : Sim.Stats.counter;
+}
+
+let max_payload = 128
+
+let create eng cfg =
+  {
+    cfg;
+    eng;
+    queues =
+      Array.init cfg.Config.nodes (fun _ ->
+          {
+            requests = Sim.Mailbox.create ();
+            replies = Sim.Mailbox.create ();
+            up = true;
+          });
+    sends = Sim.Stats.counter ();
+  }
+
+let fail_node t node = t.queues.(node).up <- false
+
+let restore_node t node = t.queues.(node).up <- true
+
+(* Each SIPS delivers one cache line of data (128 bytes) in about the
+   latency of a cache miss, with an interrupt raised at the receiver. Data
+   beyond a cache line must be sent by reference, so [size] is capped. *)
+let send t ~from_proc ~to_node ~kind ~size msg =
+  if size > max_payload then raise (Too_large size);
+  let q = t.queues.(to_node) in
+  if not q.up then raise (Target_failed to_node);
+  Sim.Stats.incr t.sends;
+  let latency = Int64.add t.cfg.Config.ipi_ns t.cfg.Config.sips_extra_ns in
+  let env = { src_proc = from_proc; size; msg } in
+  Sim.Engine.schedule t.eng ~after:latency (fun () ->
+      if q.up then
+        Sim.Mailbox.send t.eng
+          (match kind with Request -> q.requests | Reply -> q.replies)
+          env)
+
+(* Blocking receive used by each node's interrupt dispatch thread. *)
+let receive ?timeout t ~node ~kind =
+  let q = t.queues.(node) in
+  Sim.Mailbox.receive ?timeout t.eng
+    (match kind with Request -> q.requests | Reply -> q.replies)
+
+let pending t ~node ~kind =
+  let q = t.queues.(node) in
+  Sim.Mailbox.length (match kind with Request -> q.requests | Reply -> q.replies)
+
+let send_count t = Sim.Stats.get t.sends

@@ -1,0 +1,46 @@
+(** SIPS: the short interprocessor send facility added to the FLASH
+    coherence controller for Hive (Section 6 of the paper).
+
+    Each SIPS delivers one cache line of data (128 bytes) in about the
+    latency of a remote cache miss, with the reliability and flow control
+    of a cache miss, raising an interrupt at the receiver. Separate
+    request and reply receive queues per node make deadlock avoidance easy.
+
+    Message payloads are OCaml values under the open type {!message}
+    (extended by the kernel's RPC layer); the declared [size] models the
+    128-byte limit — anything larger must be passed by reference through
+    shared memory. *)
+
+type message = ..
+
+type kind = Request | Reply
+
+exception Too_large of int
+
+exception Target_failed of int
+
+type envelope = { src_proc : int; size : int; msg : message }
+
+type t
+
+val max_payload : int
+
+val create : Sim.Engine.t -> Config.t -> t
+
+val fail_node : t -> int -> unit
+
+val restore_node : t -> int -> unit
+
+(** Send a message; delivery takes one IPI latency plus the SIPS data
+    latency. Raises {!Too_large} over 128 declared bytes and
+    {!Target_failed} if the destination node is down. *)
+val send :
+  t -> from_proc:int -> to_node:int -> kind:kind -> size:int -> message -> unit
+
+(** Blocking receive on a node's request or reply queue. *)
+val receive :
+  ?timeout:int64 -> t -> node:int -> kind:kind -> envelope option
+
+val pending : t -> node:int -> kind:kind -> int
+
+val send_count : t -> int

@@ -1,0 +1,1 @@
+lib/hive/agreement.ml: Array Clock Flash Gate List Params Recovery Rpc Sim Types

@@ -1,0 +1,1 @@
+lib/hive/agreement.mli: Types

@@ -1,0 +1,1 @@
+lib/hive/careful_ref.ml: Array Flash Kmem List Params Printf Sim Types

@@ -1,0 +1,1 @@
+lib/hive/careful_ref.mli: Bytes Flash Types

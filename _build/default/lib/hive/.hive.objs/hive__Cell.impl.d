@@ -1,0 +1,1 @@
+lib/hive/cell.ml: Array Clock Clock_hand Flash Hashtbl List Panic Printexc Printf Rpc Share Sim Types

@@ -1,0 +1,1 @@
+lib/hive/cell.mli: Flash Sim Types

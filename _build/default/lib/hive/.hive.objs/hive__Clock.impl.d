@@ -1,0 +1,1 @@
+lib/hive/clock.ml: Array Bytes Careful_ref Flash Int64 List Params Printf Sim Types

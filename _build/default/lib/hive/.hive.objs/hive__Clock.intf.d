@@ -1,0 +1,1 @@
+lib/hive/clock.mli: Careful_ref Types

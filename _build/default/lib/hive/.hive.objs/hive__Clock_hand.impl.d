@@ -1,0 +1,1 @@
+lib/hive/clock_hand.ml: Hashtbl List Page_alloc Pfdat Printf Sim Swap Types

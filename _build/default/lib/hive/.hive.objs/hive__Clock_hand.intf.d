@@ -1,0 +1,1 @@
+lib/hive/clock_hand.mli: Types

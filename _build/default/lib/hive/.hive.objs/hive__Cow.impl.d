@@ -1,0 +1,1 @@
+lib/hive/cow.ml: Array Bytes Careful_ref Flash Int64 Kmem List Panic Types

@@ -1,0 +1,1 @@
+lib/hive/cow.mli: Careful_ref Types

@@ -1,0 +1,1 @@
+lib/hive/failure.ml: Agreement List Printf Sim Types

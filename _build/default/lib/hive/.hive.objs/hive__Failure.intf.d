@@ -1,0 +1,1 @@
+lib/hive/failure.mli: Types

@@ -1,0 +1,1 @@
+lib/hive/fs.ml: Array Buffer Bytes Flash Hashtbl List Page_alloc Params Pfdat Rpc Share Sim String Types

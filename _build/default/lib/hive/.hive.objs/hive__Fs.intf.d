@@ -1,0 +1,1 @@
+lib/hive/fs.mli: Bytes Flash Types

@@ -1,0 +1,1 @@
+lib/hive/gate.ml: List Sim Types

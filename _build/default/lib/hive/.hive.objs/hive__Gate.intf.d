@@ -1,0 +1,1 @@
+lib/hive/gate.mli: Types

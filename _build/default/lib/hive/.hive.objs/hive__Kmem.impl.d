@@ -1,0 +1,1 @@
+lib/hive/kmem.ml: Array Bytes Flash List Types

@@ -1,0 +1,1 @@
+lib/hive/kmem.mli: Flash Types

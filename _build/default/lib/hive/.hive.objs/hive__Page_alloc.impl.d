@@ -1,0 +1,1 @@
+lib/hive/page_alloc.ml: Array Hashtbl List Pfdat Rpc Types

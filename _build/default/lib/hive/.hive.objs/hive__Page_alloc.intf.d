@@ -1,0 +1,1 @@
+lib/hive/page_alloc.mli: Types

@@ -1,0 +1,1 @@
+lib/hive/panic.ml: Flash List Sim Types

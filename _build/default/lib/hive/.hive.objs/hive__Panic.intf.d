@@ -1,0 +1,1 @@
+lib/hive/panic.mli: Types

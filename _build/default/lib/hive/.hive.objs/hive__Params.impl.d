@@ -1,0 +1,1 @@
+lib/hive/params.ml:

@@ -1,0 +1,1 @@
+lib/hive/process.ml: Array Cow Flash Fs Gate Hashtbl List Panic Params Printf Rpc Sim Types Vm

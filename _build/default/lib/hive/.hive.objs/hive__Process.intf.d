@@ -1,0 +1,1 @@
+lib/hive/process.mli: Flash Types

@@ -1,0 +1,1 @@
+lib/hive/recovery.ml: Array Gate List Panic Params Printf Rpc Sim Types Vm

@@ -1,0 +1,1 @@
+lib/hive/recovery.mli: Types

@@ -1,0 +1,1 @@
+lib/hive/rpc.ml: Array Flash Hashtbl Int64 List Params Printf Sim Types

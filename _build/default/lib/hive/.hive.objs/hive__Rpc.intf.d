@@ -1,0 +1,1 @@
+lib/hive/rpc.mli: Flash Hashtbl Types

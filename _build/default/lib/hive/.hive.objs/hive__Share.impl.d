@@ -1,0 +1,1 @@
+lib/hive/share.ml: Hashtbl List Params Pfdat Rpc Sim Types Wild_write

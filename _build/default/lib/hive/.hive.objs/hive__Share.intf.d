@@ -1,0 +1,1 @@
+lib/hive/share.mli: Types

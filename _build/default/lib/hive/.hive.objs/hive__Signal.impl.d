@@ -1,0 +1,1 @@
+lib/hive/signal.ml: Array Flash Hashtbl List Printf Rpc Sim Types

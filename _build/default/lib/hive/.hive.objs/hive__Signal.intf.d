@@ -1,0 +1,1 @@
+lib/hive/signal.mli: Hashtbl Types

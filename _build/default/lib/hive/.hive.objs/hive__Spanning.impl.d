@@ -1,0 +1,1 @@
+lib/hive/spanning.ml: Array Bytes Fs List Printf Process Sim Types Vm

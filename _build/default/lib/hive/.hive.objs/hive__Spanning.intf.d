@@ -1,0 +1,1 @@
+lib/hive/spanning.mli: Types

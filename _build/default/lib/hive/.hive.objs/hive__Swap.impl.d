@@ -1,0 +1,1 @@
+lib/hive/swap.ml: Array Flash Hashtbl List Page_alloc Pfdat Types

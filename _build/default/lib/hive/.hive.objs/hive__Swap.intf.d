@@ -1,0 +1,1 @@
+lib/hive/swap.mli: Flash Types

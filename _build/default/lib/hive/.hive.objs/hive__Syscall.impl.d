@@ -1,0 +1,1 @@
+lib/hive/syscall.ml: Array Bytes Cow Fs Gate Hashtbl List Process Signal Types Vm

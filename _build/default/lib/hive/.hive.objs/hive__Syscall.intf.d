@@ -1,0 +1,1 @@
+lib/hive/syscall.mli: Bytes Signal Types

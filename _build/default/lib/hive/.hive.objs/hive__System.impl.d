@@ -1,0 +1,1 @@
+lib/hive/system.ml: Agreement Array Bytes Cell Cow Failure Flash Fs Hashtbl Int64 Kmem List Page_alloc Panic Params Printexc Printf Process Recovery Share Signal Sim Types Vm Wax Wild_write

@@ -1,0 +1,1 @@
+lib/hive/system.mli: Flash Int64 Params Sim Types

@@ -1,0 +1,1 @@
+lib/hive/types.ml: Array Bytes Flash Hashtbl List Params Sim

@@ -1,0 +1,1 @@
+lib/hive/vm.ml: Array Careful_ref Cow Flash Fs Gate Hashtbl Int64 List Page_alloc Params Pfdat Rpc Share Sim Swap Types Wild_write

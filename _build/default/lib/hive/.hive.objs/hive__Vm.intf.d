@@ -1,0 +1,1 @@
+lib/hive/vm.mli: Flash Types

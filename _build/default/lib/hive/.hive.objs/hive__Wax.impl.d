@@ -1,0 +1,1 @@
+lib/hive/wax.ml: Array Flash Gate Int64 List Page_alloc Params Printf Sim Swap Types

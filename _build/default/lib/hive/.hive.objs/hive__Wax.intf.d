@@ -1,0 +1,1 @@
+lib/hive/wax.mli: Flash Types

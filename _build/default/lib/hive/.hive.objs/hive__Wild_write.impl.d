@@ -1,0 +1,1 @@
+lib/hive/wild_write.ml: Array Flash List Rpc Sim Types

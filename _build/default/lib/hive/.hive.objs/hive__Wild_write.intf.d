@@ -1,0 +1,1 @@
+lib/hive/wild_write.mli: Flash Types

@@ -1,0 +1,156 @@
+(* Distributed agreement on cell failure (Section 4.3).
+
+   A hint alone must not reboot a cell: a faulty cell that mistakenly
+   concluded others were corrupt could destroy a large fraction of the
+   system. When an alert is broadcast, all cells suspend user-level
+   processes and vote on the suspect's liveness; consensus among the
+   surviving cells is required before recovery. A cell that broadcasts
+   the same alert twice but is voted down both times is itself considered
+   corrupt by the other cells.
+
+   The paper simulated this protocol with an oracle (the group-membership
+   algorithm was not yet implemented); we provide both the real
+   broadcast-vote protocol and an oracle mode for reproducing the paper's
+   experimental setup. *)
+
+type Types.payload +=
+  | P_vote_req of { suspect : Types.cell_id; accuser : Types.cell_id }
+  | P_vote of { alive : bool }
+  | P_dismiss of { accuser : Types.cell_id }
+
+let vote_op = "agree.vote"
+
+let ping_op = "agree.ping"
+
+let dismiss_op = "agree.dismiss"
+
+let probe_timeout_ns = 2_000_000L
+
+(* Ground truth used in oracle mode, mirroring the SimOS machine model's
+   failure oracle. *)
+let oracle_dead (sys : Types.system) suspect =
+  let c = sys.Types.cells.(suspect) in
+  c.Types.cstatus = Types.Cell_down
+  || List.exists
+       (fun n -> not (Flash.Machine.node_alive sys.Types.machine n))
+       c.Types.cell_nodes
+
+(* Probe a suspect: careful read of its clock word plus a ping RPC. *)
+let probe (sys : Types.system) (voter : Types.cell) suspect =
+  Sim.Engine.delay sys.Types.params.Params.agreement_vote_ns;
+  if sys.Types.use_agreement_oracle then not (oracle_dead sys suspect)
+  else begin
+    let clock_ok =
+      match Clock.read_peer_clock sys voter ~target:suspect with
+      | Ok _ -> true
+      | Error _ -> false
+    in
+    clock_ok
+    &&
+    match
+      Rpc.call sys ~from:voter ~target:suspect ~op:ping_op
+        ~timeout_ns:probe_timeout_ns Types.P_unit
+    with
+    | Ok _ -> true
+    | Error _ -> false
+  end
+
+let false_alert_count (c : Types.cell) accuser =
+  match List.assoc_opt accuser c.Types.false_alerts with
+  | Some n -> n
+  | None -> 0
+
+let bump_false_alerts (c : Types.cell) accuser =
+  let n = false_alert_count c accuser in
+  c.Types.false_alerts <-
+    (accuser, n + 1) :: List.remove_assoc accuser c.Types.false_alerts
+
+(* Run one agreement round from the accusing cell. *)
+let run (sys : Types.system) (accuser : Types.cell) ~suspect ~reason =
+  if sys.Types.recovery_in_progress || not (Types.cell_alive accuser) then ()
+  else begin
+    sys.Types.recovery_in_progress <- true;
+    Types.sys_bump sys "agreement.rounds";
+    Sim.Trace.info sys.Types.eng "agreement: cell %d accuses cell %d (%s)"
+      accuser.Types.cell_id suspect reason;
+    Gate.close accuser;
+    let voters =
+      List.filter (fun id -> id <> suspect) accuser.Types.live_set
+    in
+    let votes_dead = ref 0 and votes_alive = ref 0 in
+    List.iter
+      (fun voter_id ->
+        if voter_id = accuser.Types.cell_id then begin
+          if probe sys accuser suspect then incr votes_alive
+          else incr votes_dead
+        end
+        else
+          match
+            Rpc.call sys ~from:accuser ~target:voter_id ~op:vote_op
+              (P_vote_req { suspect; accuser = accuser.Types.cell_id })
+          with
+          | Ok (P_vote { alive }) ->
+            if alive then incr votes_alive else incr votes_dead
+          | Ok _ | Error _ ->
+            (* An unreachable voter neither confirms nor denies. *)
+            ())
+      voters;
+    if !votes_dead > !votes_alive then begin
+      Types.sys_bump sys "agreement.confirmed";
+      Recovery.initiate sys ~dead:[ suspect ]
+    end
+    else begin
+      (* Dismissed: reopen gates everywhere and note the false alert. *)
+      Types.sys_bump sys "agreement.dismissed";
+      bump_false_alerts accuser accuser.Types.cell_id;
+      accuser.Types.suspected <-
+        List.filter (fun s -> s <> suspect) accuser.Types.suspected;
+      List.iter
+        (fun voter_id ->
+          if voter_id <> accuser.Types.cell_id then
+            ignore
+              (Rpc.call sys ~from:accuser ~target:voter_id ~op:dismiss_op
+                 (P_dismiss { accuser = accuser.Types.cell_id })))
+        voters;
+      Gate.open_ sys accuser;
+      sys.Types.recovery_in_progress <- false
+    end
+  end
+
+let registered = ref false
+
+let register_handlers () =
+  if not !registered then begin
+    registered := true;
+    Rpc.register ping_op (fun _sys _cell ~src:_ _arg ->
+        Types.Immediate (Ok Types.P_unit));
+    Rpc.register vote_op (fun sys cell ~src arg ->
+        match arg with
+        | P_vote_req { suspect; accuser } ->
+          Types.Queued
+            (fun () ->
+              (* Suspend user-level processes for the duration of
+                 agreement (and recovery, if confirmed). *)
+              Gate.close cell;
+              let alive =
+                if false_alert_count cell accuser >= 2 then
+                  (* Repeated false accuser: considered corrupt; refuse to
+                     confirm its alerts. *)
+                  true
+                else probe sys cell suspect
+              in
+              ignore src;
+              if alive then begin
+                (* Reopen optimistically; a confirm will re-close. *)
+                Gate.open_ sys cell
+              end;
+              Ok (P_vote { alive }))
+        | _ -> Types.Immediate (Error Types.EFAULT));
+    Rpc.register dismiss_op (fun sys cell ~src:_ arg ->
+        match arg with
+        | P_dismiss { accuser } ->
+          bump_false_alerts cell accuser;
+          Gate.open_ sys cell;
+          Types.Immediate (Ok Types.P_unit)
+        | _ -> Types.Immediate (Error Types.EFAULT))
+  end

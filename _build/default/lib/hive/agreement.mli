@@ -1,0 +1,35 @@
+(** Distributed agreement on cell failure (Section 4.3).
+
+   A hint alone must not reboot a cell: a faulty cell that mistakenly
+   concluded others were corrupt could destroy a large fraction of the
+   system. When an alert is broadcast, all cells suspend user-level
+   processes and vote on the suspect's liveness; consensus among the
+   surviving cells is required before recovery. A cell that broadcasts
+   the same alert twice but is voted down both times is itself considered
+   corrupt by the other cells.
+
+   The paper simulated this protocol with an oracle (the group-membership
+   algorithm was not yet implemented); we provide both the real
+   broadcast-vote protocol and an oracle mode for reproducing the paper's
+   experimental setup. *)
+
+type Types.payload +=
+    P_vote_req of { suspect : Types.cell_id;
+      accuser : Types.cell_id;
+    }
+  | P_vote of { alive : bool; }
+  | P_dismiss of { accuser : Types.cell_id; }
+val vote_op : string
+val ping_op : string
+val dismiss_op : string
+val probe_timeout_ns : int64
+val oracle_dead : Types.system -> int -> bool
+val probe :
+  Types.system -> Types.cell -> Types.cell_id -> bool
+val false_alert_count : Types.cell -> Types.cell_id -> int
+val bump_false_alerts : Types.cell -> Types.cell_id -> unit
+val run :
+  Types.system ->
+  Types.cell -> suspect:Types.cell_id -> reason:string -> unit
+val registered : bool ref
+val register_handlers : unit -> unit

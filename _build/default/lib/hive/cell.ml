@@ -1,0 +1,141 @@
+(* Cell construction and boot.
+
+   When the system boots, each cell is assigned a range of nodes that it
+   owns throughout execution; it manages their processors, memory and I/O
+   devices as an independent kernel (Figure 3.1). Boot reserves kernel
+   pages on the boss node (holding the published clock word, Wax slots and
+   serialized kernel structures), grants its own processors write access
+   to all of its memory, and starts the RPC dispatch and clock threads. *)
+
+let kernel_reserved_pages = 64
+
+let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
+  let boss = List.hd nodes in
+  let kmem_base = boss * Flash.Config.mem_bytes_per_node mcfg in
+  let kmem_limit = kmem_base + (kernel_reserved_pages * mcfg.Flash.Config.page_size) in
+  {
+    Types.cell_id = id;
+    cell_nodes = nodes;
+    boss_node = boss;
+    cstatus = Types.Cell_up;
+    live_set = [];
+    page_hash = Hashtbl.create 1024;
+    frames = Hashtbl.create 1024;
+    free_frames = [];
+    reserved_loans = [];
+    files = Hashtbl.create 64;
+    files_by_ino = Hashtbl.create 64;
+    next_ino = 0;
+    next_disk_block = 16;
+    kmem =
+      {
+        Types.kmem_base;
+        kmem_limit;
+        (* First words reserved: clock word and incarnation slots. *)
+        kmem_next = kmem_base + 128;
+        kmem_free = [];
+      };
+    clock_addr = kmem_base;
+    processes = [];
+    user_gate_open = true;
+    gate_waiters = [];
+    next_call_id = 0;
+    pending_calls = Hashtbl.create 64;
+    rpc_queue = Sim.Mailbox.create ();
+    release_queue = Sim.Mailbox.create ();
+    swap_table = Hashtbl.create 64;
+    swap_blocks_used = 0;
+    suspected = [];
+    alert_votes = [];
+    false_alerts = [];
+    in_recovery = false;
+    recovery_barrier_joined = (0, 0);
+    alloc_preference = [];
+    clock_hand_targets = [];
+    rr_cpu = 0;
+    wax_slot = kmem_base + 8;
+    kernel_threads = [];
+    counters = Sim.Stats.registry ();
+    fault_in_cache_ns = Sim.Stats.summary ();
+    remote_fault_ns = Sim.Stats.summary ();
+  }
+
+(* Populate the free-frame list: every owned page except the kernel
+   reserve on the boss node. *)
+let init_frames (sys : Types.system) (c : Types.cell) =
+  let cfg = sys.Types.mcfg in
+  let frames = ref [] in
+  List.iter
+    (fun node ->
+      let first = Flash.Addr.first_pfn_of_node cfg node in
+      let skip = if node = c.Types.boss_node then kernel_reserved_pages else 0 in
+      for pfn = first + skip to first + cfg.Flash.Config.mem_pages_per_node - 1 do
+        frames := pfn :: !frames
+      done)
+    c.Types.cell_nodes;
+  c.Types.free_frames <- List.rev !frames
+
+(* Grant this cell's processors write access to all of its own memory;
+   remote cells get nothing until an export grants them a page. *)
+let init_firewall (sys : Types.system) (c : Types.cell) =
+  let fw = Flash.Machine.firewall sys.Types.machine in
+  let cfg = sys.Types.mcfg in
+  List.iter
+    (fun node ->
+      let first = Flash.Addr.first_pfn_of_node cfg node in
+      for pfn = first to first + cfg.Flash.Config.mem_pages_per_node - 1 do
+        Flash.Firewall.grant_many fw ~by:node ~pfn c.Types.cell_nodes
+      done)
+    c.Types.cell_nodes
+
+(* Boot runs inside a simulation thread. *)
+let boot (sys : Types.system) (c : Types.cell) =
+  init_frames sys c;
+  init_firewall sys c;
+  c.Types.live_set <-
+    Array.to_list sys.Types.cells |> List.map (fun cl -> cl.Types.cell_id);
+  (* Initialize the published clock word and Wax slot. *)
+  Flash.Memory.write_i64 sys.Types.eng
+    (Flash.Machine.memory sys.Types.machine)
+    ~by:(Types.boss_proc c) c.Types.clock_addr 0L;
+  Flash.Memory.write_i64 sys.Types.eng
+    (Flash.Machine.memory sys.Types.machine)
+    ~by:(Types.boss_proc c) c.Types.wax_slot 0L;
+  Rpc.start_threads sys c;
+  Clock.start sys c;
+  Clock_hand.start sys c;
+  (* Reaper: sends release RPCs for imports dropped by exiting processes
+     (process teardown itself runs outside any thread context). *)
+  let reaper =
+    Sim.Engine.spawn sys.Types.eng
+      ~name:(Printf.sprintf "cell%d.reaper" c.Types.cell_id)
+      (fun () ->
+        let rec loop () =
+          match Sim.Mailbox.receive sys.Types.eng c.Types.release_queue with
+          | Some pf ->
+            (match (pf.Types.imported_from, pf.Types.lid) with
+            | Some home, Some _ when List.mem home c.Types.live_set ->
+              (try Share.release sys c pf with Types.Syscall_error _ -> ())
+            | _ -> Share.drop_import c pf);
+            loop ()
+          | None -> ()
+        in
+        loop ())
+  in
+  c.Types.kernel_threads <- reaper :: c.Types.kernel_threads;
+  Types.bump c "cell.boots"
+
+(* Spawn a kernel thread whose uncaught exceptions panic this cell (a
+   kernel bug must crash only its own cell, never the simulation). *)
+let spawn_kernel (sys : Types.system) (c : Types.cell) ~name body =
+  let thr =
+    Sim.Engine.spawn sys.Types.eng ~name (fun () ->
+        try body () with
+        | Panic.Kernel_corruption _ -> ()
+        | e ->
+          Panic.panic sys c
+            (Printf.sprintf "kernel thread %s died: %s" name
+               (Printexc.to_string e)))
+  in
+  c.Types.kernel_threads <- thr :: c.Types.kernel_threads;
+  thr

@@ -1,0 +1,19 @@
+(** Cell construction and boot.
+
+   When the system boots, each cell is assigned a range of nodes that it
+   owns throughout execution; it manages their processors, memory and I/O
+   devices as an independent kernel (Figure 3.1). Boot reserves kernel
+   pages on the boss node (holding the published clock word, Wax slots and
+   serialized kernel structures), grants its own processors write access
+   to all of its memory, and starts the RPC dispatch and clock threads. *)
+
+val kernel_reserved_pages : int
+val make :
+  Flash.Config.t ->
+  id:Types.cell_id -> nodes:int list -> Types.cell
+val init_frames : Types.system -> Types.cell -> unit
+val init_firewall : Types.system -> Types.cell -> unit
+val boot : Types.system -> Types.cell -> unit
+val spawn_kernel :
+  Types.system ->
+  Types.cell -> name:string -> (unit -> unit) -> Sim.Engine.thread

@@ -1,0 +1,32 @@
+(* Failure hints (Section 4.3).
+
+   A cell is considered potentially failed when: an RPC to it times out; an
+   access to its memory causes a bus error; its published clock word stops
+   incrementing; or data read from its memory fails the consistency checks
+   of the careful reference protocol. A hint triggers distributed
+   agreement immediately; confirmation is required before recovery. *)
+
+let handle_hint (sys : Types.system) (reporter : Types.cell) ~suspect ~reason =
+  if
+    Types.cell_alive reporter
+    && (not reporter.Types.in_recovery)
+    && List.mem suspect reporter.Types.live_set
+    && suspect <> reporter.Types.cell_id
+    && not (List.mem suspect reporter.Types.suspected)
+  then begin
+    reporter.Types.suspected <- suspect :: reporter.Types.suspected;
+    Types.bump reporter "failure.hints";
+    Sim.Trace.info sys.Types.eng "cell %d suspects cell %d (%s)"
+      reporter.Types.cell_id suspect reason;
+    (* Run agreement from a fresh kernel thread: hints fire from fault
+       paths and interrupt handlers that must not block for milliseconds. *)
+    let thr =
+      Sim.Engine.spawn sys.Types.eng
+        ~name:(Printf.sprintf "cell%d.agreement" reporter.Types.cell_id)
+        (fun () -> Agreement.run sys reporter ~suspect ~reason)
+    in
+    reporter.Types.kernel_threads <- thr :: reporter.Types.kernel_threads
+  end
+
+let install (sys : Types.system) =
+  sys.Types.on_hint <- Some (handle_hint sys)

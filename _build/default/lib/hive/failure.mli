@@ -1,0 +1,12 @@
+(** Failure hints (Section 4.3).
+
+   A cell is considered potentially failed when: an RPC to it times out; an
+   access to its memory causes a bus error; its published clock word stops
+   incrementing; or data read from its memory fails the consistency checks
+   of the careful reference protocol. A hint triggers distributed
+   agreement immediately; confirmation is required before recovery. *)
+
+val handle_hint :
+  Types.system ->
+  Types.cell -> suspect:Types.cell_id -> reason:string -> unit
+val install : Types.system -> unit

@@ -1,0 +1,569 @@
+(* The file system: a vnode layer with a unified, cross-cell page cache.
+
+   Every file has a *data home* cell (deterministic from its path) that
+   owns its backing store and page cache. Processes on other cells open
+   the file through a shadow vnode and bind its pages into their own pfdat
+   tables with export/import (Section 5.2): a fault or read that misses
+   locally sends an RPC to the data home, which loads the page from disk
+   if needed, exports it, and returns the frame address. Faults that hit
+   in the data home's page cache are serviced entirely at interrupt level;
+   only those requiring disk I/O go to the queued server pool.
+
+   Preemptive discard support: when a dirty page is discarded after a cell
+   failure, the file's generation number is bumped. Descriptors (and
+   mapped regions) opened before the failure carry the old generation and
+   get EIO; files opened afterwards read whatever is stable on disk
+   (Section 4.2, "preemptive discard"). *)
+
+type Types.payload +=
+  | P_lookup of { path : string }
+  | P_attrs of { ino : int; size : int; generation : int }
+  | P_locate of { ino : int; page : int; npages : int; writable : bool }
+  | P_located of { pages : (int * int) list (* file page -> pfn *) }
+  | P_create of { path : string; content : Bytes.t }
+  | P_created of { ino : int }
+  | P_dirty of { ino : int; page : int }
+  | P_setsize of { ino : int; size : int }
+
+let lookup_op = "fs.lookup"
+
+let locate_op = "fs.locate"
+
+let create_op = "fs.create"
+
+let dirty_op = "fs.mark_dirty"
+
+let setsize_op = "fs.set_size"
+
+(* Batch size for locate RPCs issued by the sequential read/write paths
+   (read-ahead clustering); faults locate a single page. *)
+let locate_batch = 8
+
+let page_size (sys : Types.system) = sys.Types.mcfg.Flash.Config.page_size
+
+(* Deterministic path placement: /tmp lives on cell 0 (the paper's pmake
+   setup has one cell serving the compiler temporary directory); other
+   paths hash over the cells. *)
+let home_of_path (sys : Types.system) path =
+  let n = Array.length sys.Types.cells in
+  let has_prefix p =
+    String.length path >= String.length p
+    && String.sub path 0 (String.length p) = p
+  in
+  (* The root file system (binaries, headers, sources) and /tmp live on
+     cell 0, which acts as the file server -- the paper's pmake setup, where
+     the cell serving the compiler temporary directory peaked at 42
+     remotely-writable pages. Other trees hash across the cells. *)
+  if List.exists has_prefix [ "/tmp"; "/bin"; "/usr"; "/src"; "/etc" ] then 0
+  else Hashtbl.hash path mod n
+
+let mem (sys : Types.system) = Flash.Machine.memory sys.Types.machine
+
+let frame_addr (sys : Types.system) pfn =
+  Flash.Addr.addr_of_pfn sys.Types.mcfg pfn
+
+(* ---------- Data-home-side operations ---------- *)
+
+let find_local (c : Types.cell) path = Hashtbl.find_opt c.Types.files path
+
+let find_by_ino (c : Types.cell) ino =
+  Hashtbl.find_opt c.Types.files_by_ino ino
+
+let create_local (sys : Types.system) (home : Types.cell) ~path ~content =
+  match find_local home path with
+  | Some f ->
+    (* Truncate and rewrite: stale cached pages must leave the page hash,
+       or re-creation would serve old frames. *)
+    Hashtbl.iter
+      (fun _pg (pf : Types.pfdat) ->
+        if not pf.Types.extended then Page_alloc.free_frame sys home pf)
+      f.Types.cached_pages;
+    Hashtbl.reset f.Types.cached_pages;
+    f.Types.size <- Bytes.length content;
+    f.Types.disk_content <- Bytes.copy content;
+    f
+  | None ->
+    home.Types.next_ino <- home.Types.next_ino + 1;
+    let psize = page_size sys in
+    let blocks = max 1 ((Bytes.length content + psize - 1) / psize) in
+    let f =
+      {
+        Types.fid = { home = home.Types.cell_id; ino = home.Types.next_ino };
+        path;
+        size = Bytes.length content;
+        generation = 0;
+        disk_block = home.Types.next_disk_block;
+        cached_pages = Hashtbl.create 16;
+        disk_content = Bytes.copy content;
+        unlinked = false;
+      }
+    in
+    home.Types.next_disk_block <- home.Types.next_disk_block + blocks + 8;
+    Hashtbl.replace home.Types.files path f;
+    Hashtbl.replace home.Types.files_by_ino f.Types.fid.Types.ino f;
+    f
+
+(* Load one page of a file into the data home's page cache (disk I/O). *)
+let page_in (sys : Types.system) (home : Types.cell) (f : Types.file) page =
+  let psize = page_size sys in
+  let lid = { Types.tag = Types.File_obj f.Types.fid; page } in
+  match Pfdat.lookup home lid with
+  | Some pf -> pf
+  | None ->
+    let pf = Page_alloc.alloc_frame sys home in
+    let off = page * psize in
+    let avail = max 0 (min psize (Bytes.length f.Types.disk_content - off)) in
+    (* Fresh pages (beyond the stable contents) have nothing to read from
+       disk: extending writes must not pay an I/O. *)
+    if avail > 0 then begin
+      let disk =
+        Flash.Machine.disk sys.Types.machine (Types.boss_proc home)
+      in
+      Flash.Disk.read sys.Types.eng disk
+        ~block:(f.Types.disk_block + page)
+        ~bytes:psize
+    end;
+    (* DMA the stable contents into the frame; fresh frames are already
+       zero, so extension pages skip the fill entirely. *)
+    if avail > 0 then begin
+      let buf = Bytes.make psize '\000' in
+      Bytes.blit f.Types.disk_content off buf 0 avail;
+      Flash.Memory.write sys.Types.eng (mem sys) ~by:(Types.boss_proc home)
+        (frame_addr sys pf.Types.pfn)
+        buf
+    end;
+    (* The disk read blocked: another thread may have cached the page
+       meanwhile. The loser frees its frame and uses the winner's (the
+       page-lock discipline of a real kernel). *)
+    match Pfdat.lookup home lid with
+    | Some winner ->
+      Page_alloc.free_frame sys home pf;
+      winner
+    | None ->
+      Pfdat.insert home lid pf;
+      Hashtbl.replace f.Types.cached_pages page pf;
+      Types.bump home "fs.page_ins";
+      pf
+
+(* Copy a cached page into the stable-content buffer (no disk timing). *)
+let stage_page (sys : Types.system) (home : Types.cell) (f : Types.file) page
+    (pf : Types.pfdat) =
+  let psize = page_size sys in
+  let off = page * psize in
+  let needed = off + psize in
+  if Bytes.length f.Types.disk_content < needed then begin
+    let bigger = Bytes.make needed '\000' in
+    Bytes.blit f.Types.disk_content 0 bigger 0 (Bytes.length f.Types.disk_content);
+    f.Types.disk_content <- bigger
+  end;
+  let data =
+    Flash.Memory.read sys.Types.eng (mem sys) ~by:(Types.boss_proc home)
+      (frame_addr sys pf.Types.pfn)
+      psize
+  in
+  Bytes.blit data 0 f.Types.disk_content off psize;
+  pf.Types.dirty <- false;
+  Types.bump home "fs.writebacks"
+
+(* Write a cached page back to stable storage. *)
+let writeback (sys : Types.system) (home : Types.cell) (f : Types.file) page
+    (pf : Types.pfdat) =
+  stage_page sys home f page pf;
+  let psize = page_size sys in
+  let disk = Flash.Machine.disk sys.Types.machine (Types.boss_proc home) in
+  Flash.Disk.write sys.Types.eng disk
+    ~block:(f.Types.disk_block + page)
+    ~bytes:psize
+
+(* Clustered writeback: stage every dirty page, then issue one contiguous
+   disk write covering their span. *)
+let sync_file (sys : Types.system) (home : Types.cell) (f : Types.file) =
+  let psize = page_size sys in
+  let dirty = ref [] in
+  Hashtbl.iter
+    (fun page pf -> if pf.Types.dirty then dirty := (page, pf) :: !dirty)
+    f.Types.cached_pages;
+  match !dirty with
+  | [] -> ()
+  | pages ->
+    List.iter (fun (page, pf) -> stage_page sys home f page pf) pages;
+    let first = List.fold_left (fun a (p, _) -> min a p) max_int pages in
+    let last = List.fold_left (fun a (p, _) -> max a p) 0 pages in
+    let disk = Flash.Machine.disk sys.Types.machine (Types.boss_proc home) in
+    Flash.Disk.write sys.Types.eng disk
+      ~block:(f.Types.disk_block + first)
+      ~bytes:((last - first + 1) * psize)
+
+let sync_cell (sys : Types.system) (c : Types.cell) =
+  Hashtbl.iter (fun _ f -> sync_file sys c f) c.Types.files
+
+(* Preemptive-discard notification from the VM layer: a dirty page of this
+   file was dropped; record the data loss by bumping the generation. *)
+let note_discard (sys : Types.system) (home : Types.cell) (f : Types.file)
+    ~page ~dirty =
+  Hashtbl.remove f.Types.cached_pages page;
+  if dirty then begin
+    f.Types.generation <- f.Types.generation + 1;
+    Types.bump home "fs.generation_bumps";
+    ignore sys
+  end
+
+(* ---------- Client-side operations ---------- *)
+
+exception Stale of Types.errno
+
+let check_gen (sys : Types.system) (c : Types.cell) vnode opened_gen =
+  match vnode with
+  | Types.Local_vnode f ->
+    if f.Types.generation > opened_gen then raise (Types.Syscall_error Types.EIO)
+  | Types.Shadow_vnode _ ->
+    (* The generation check happens on the data home during locate; adding
+       an RPC per client access would defeat the point of import caching,
+       so the data home enforces it authoritatively in its handlers. *)
+    ignore (sys, c)
+
+(* Open: returns the vnode plus the generation observed at open time. *)
+let open_file (sys : Types.system) (c : Types.cell) ~path =
+  let p = sys.Types.params in
+  let home_id = home_of_path sys path in
+  if home_id = c.Types.cell_id then begin
+    Sim.Engine.delay p.Params.open_local_ns;
+    match find_local c path with
+    | Some f when not f.Types.unlinked ->
+      Ok (Types.Local_vnode f, f.Types.generation)
+    | _ -> Error Types.ENOENT
+  end
+  else begin
+    (* Remote open: path lookup RPC to the data home plus shadow vnode
+       setup. *)
+    Sim.Engine.delay p.Params.open_remote_extra_ns;
+    match
+      Rpc.call sys ~from:c ~target:home_id ~op:lookup_op ~arg_bytes:64
+        (P_lookup { path })
+    with
+    | Ok (P_attrs { ino; size = _; generation }) ->
+      Ok
+        ( Types.Shadow_vnode
+            { fid = { home = home_id; ino }; path; data_home = home_id },
+          generation )
+    | Ok _ -> Error Types.EFAULT
+    | Error e -> Error e
+  end
+
+let create_file (sys : Types.system) (c : Types.cell) ~path ~content =
+  let home_id = home_of_path sys path in
+  if home_id = c.Types.cell_id then begin
+    Sim.Engine.delay sys.Types.params.Params.open_local_ns;
+    let f = create_local sys c ~path ~content in
+    Ok (Types.Local_vnode f, f.Types.generation)
+  end
+  else
+    match
+      Rpc.call sys ~from:c ~target:home_id ~op:create_op
+        ~arg_bytes:(64 + Bytes.length content)
+        (P_create { path; content })
+    with
+    | Ok (P_created { ino }) ->
+      Ok
+        ( Types.Shadow_vnode
+            { fid = { home = home_id; ino }; path; data_home = home_id },
+          0 )
+    | Ok _ -> Error Types.EFAULT
+    | Error e -> Error e
+
+(* Get one page of a file, local or remote, for `Fault or `Syscall use.
+   Returns the client-side pfdat (regular on the data home, extended
+   elsewhere). [opened_gen] enforces the generation check. *)
+let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
+    ~opened_gen ~(usage : [ `Fault | `Syscall ]) =
+  let p = sys.Types.params in
+  let fid = Types.vnode_fid vnode in
+  let lid = { Types.tag = Types.File_obj fid; page } in
+  match Pfdat.lookup c lid with
+  | Some pf
+    when (not writable)
+         || pf.Types.imported_from = None
+         || List.mem c.Types.cell_id pf.Types.write_granted_to ->
+    (* Hit in the local pfdat hash table. *)
+    (match usage with
+    | `Fault -> Sim.Engine.delay p.Params.fault_local_hit_ns
+    | `Syscall -> Sim.Engine.delay p.Params.read_write_page_overhead_ns);
+    if writable then pf.Types.dirty <- true;
+    Ok pf
+  | Some pf ->
+    (* Imported read-only but write wanted: rebind with write access. *)
+    Share.drop_import c pf;
+    get_page sys c vnode ~page ~writable ~opened_gen ~usage
+  | None -> (
+    match vnode with
+    | Types.Local_vnode f ->
+      if f.Types.generation > opened_gen then Error Types.EIO
+      else begin
+        (match usage with
+        | `Fault -> Sim.Engine.delay p.Params.fault_local_hit_ns
+        | `Syscall -> Sim.Engine.delay p.Params.read_write_page_overhead_ns);
+        let pf = page_in sys c f page in
+        if writable then begin
+          pf.Types.dirty <- true;
+          Hashtbl.replace f.Types.cached_pages page pf
+        end;
+        Ok pf
+      end
+    | Types.Shadow_vnode { fid = sfid; data_home; _ } -> (
+      (* Remote page: client-side file system work, locate RPC to the data
+         home, then import. Sequential syscalls batch their locates. *)
+      Sim.Engine.delay p.Params.fault_client_fs_ns;
+      Types.bump c "fs.remote_locates";
+      let npages = match usage with `Fault -> 1 | `Syscall -> locate_batch in
+      match
+        Rpc.call sys ~from:c ~target:data_home ~op:locate_op
+          ~arg_bytes:64 ~reply_bytes:512
+          (P_locate { ino = sfid.Types.ino; page; npages; writable })
+      with
+      | Ok (P_located { pages }) -> (
+        let imported =
+          List.map
+            (fun (pg, pfn) ->
+              let l = { Types.tag = Types.File_obj fid; page = pg } in
+              let pf =
+                Share.import sys c ~pfn ~data_home ~lid:l
+                  ~writable
+              in
+              if writable then begin
+                pf.Types.write_granted_to <- [ c.Types.cell_id ];
+                pf.Types.dirty <- true
+              end;
+              (pg, pf))
+            pages
+        in
+        match List.assoc_opt page imported with
+        | Some pf -> Ok pf
+        | None -> Error Types.EIO)
+      | Ok (Types.P_error e) | Error e -> Error e
+      | Ok _ -> Error Types.EFAULT))
+
+(* Read [len] bytes at [pos]. Copies page by page out of the (possibly
+   remote) page cache; every byte movement is charged through the memory
+   model. *)
+let read (sys : Types.system) (c : Types.cell) vnode ~opened_gen ~pos ~len =
+  check_gen sys c vnode opened_gen;
+  let psize = page_size sys in
+  let out = Buffer.create (min len 65536) in
+  let rec loop pos remaining =
+    if remaining <= 0 then Ok (Buffer.to_bytes out)
+    else begin
+      let page = pos / psize in
+      let off = pos mod psize in
+      let chunk = min remaining (psize - off) in
+      match get_page sys c vnode ~page ~writable:false ~opened_gen ~usage:`Syscall with
+      | Error e -> Error e
+      | Ok pf ->
+        let data =
+          Flash.Memory.read sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
+            (frame_addr sys pf.Types.pfn + off)
+            chunk
+        in
+        (* Copy-out to the user buffer. *)
+        Sim.Engine.delay (Flash.Config.copy_cost sys.Types.mcfg chunk);
+        Buffer.add_bytes out data;
+        loop (pos + chunk) (remaining - chunk)
+    end
+  in
+  Types.bump c "fs.reads";
+  loop pos len
+
+(* Write bytes at [pos], extending the file as needed. *)
+let write (sys : Types.system) (c : Types.cell) vnode ~opened_gen ~pos data =
+  check_gen sys c vnode opened_gen;
+  let p = sys.Types.params in
+  let psize = page_size sys in
+  let len = Bytes.length data in
+  let end_pos = ref 0 in
+  let rec loop pos done_ =
+    if done_ >= len then Ok len
+    else begin
+      let page = pos / psize in
+      let off = pos mod psize in
+      let chunk = min (len - done_) (psize - off) in
+      end_pos := max !end_pos (pos + chunk);
+      match get_page sys c vnode ~page ~writable:true ~opened_gen ~usage:`Syscall with
+      | Error e -> Error e
+      | Ok pf -> (
+        (* Copy-in from the user buffer, then store through the firewall-
+           checked memory system. *)
+        Sim.Engine.delay (Flash.Config.copy_cost sys.Types.mcfg chunk);
+        match
+          Flash.Memory.write sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
+            (frame_addr sys pf.Types.pfn + off)
+            (Bytes.sub data done_ chunk)
+        with
+        | () ->
+          (* Extending past EOF allocates blocks on the data home (the
+             home charges this in its own handlers for remote writers). *)
+          (match vnode with
+          | Types.Local_vnode f ->
+            if pos + chunk > f.Types.size then begin
+              Sim.Engine.delay p.Params.fs_block_alloc_ns;
+              f.Types.size <- pos + chunk
+            end
+          | Types.Shadow_vnode _ -> ());
+          loop (pos + chunk) (done_ + chunk)
+        | exception Flash.Memory.Bus_error _ -> Error Types.EFAULT)
+    end
+  in
+  Types.bump c "fs.writes";
+  let r = loop pos 0 in
+  (* The data home owns the file attributes: propagate an extension. *)
+  (match (r, vnode) with
+  | Ok _, Types.Shadow_vnode { fid; data_home; _ } ->
+    ignore
+      (Rpc.call sys ~from:c ~target:data_home ~op:setsize_op ~arg_bytes:32
+         (P_setsize { ino = fid.Types.ino; size = !end_pos }))
+  | _ -> ());
+  r
+
+(* Release this client's idle import bindings for a file (called at
+   close time, so firewall grants are revoked promptly rather than held
+   until process exit). *)
+let release_file_imports (sys : Types.system) (c : Types.cell) vnode =
+  match vnode with
+  | Types.Local_vnode _ -> ()
+  | Types.Shadow_vnode { fid; _ } ->
+    let doomed = ref [] in
+    Pfdat.iter_pages c (fun pf ->
+        match (pf.Types.lid, pf.Types.imported_from) with
+        | Some { Types.tag = Types.File_obj f; _ }, Some _
+          when f = fid && pf.Types.refs = 0 && pf.Types.extended ->
+          doomed := pf :: !doomed
+        | _ -> ());
+    List.iter
+      (fun pf ->
+        try Share.release sys c pf with Types.Syscall_error _ -> ())
+      !doomed
+
+let file_size (sys : Types.system) (c : Types.cell) vnode =
+  match vnode with
+  | Types.Local_vnode f -> Ok f.Types.size
+  | Types.Shadow_vnode { data_home; path; _ } -> (
+    match
+      Rpc.call sys ~from:c ~target:data_home ~op:lookup_op
+        (P_lookup { path })
+    with
+    | Ok (P_attrs { size; _ }) -> Ok size
+    | Ok _ -> Error Types.EFAULT
+    | Error e -> Error e)
+
+let unlink (sys : Types.system) (c : Types.cell) path =
+  let home_id = home_of_path sys path in
+  if home_id = c.Types.cell_id then
+    match find_local c path with
+    | Some f ->
+      f.Types.unlinked <- true;
+      Hashtbl.remove c.Types.files path;
+      Ok ()
+    | None -> Error Types.ENOENT
+  else
+    match
+      Rpc.call sys ~from:c ~target:home_id ~op:create_op
+        (P_create { path = "\000unlink:" ^ path; content = Bytes.empty })
+    with
+    | Ok _ -> Ok ()
+    | Error e -> Error e
+
+(* ---------- RPC handlers (data-home side) ---------- *)
+
+let registered = ref false
+
+let register_handlers () =
+  if not !registered then begin
+    registered := true;
+    Rpc.register lookup_op (fun sys cell ~src:_ arg ->
+        match arg with
+        | P_lookup { path } -> (
+          match find_local cell path with
+          | Some f when not f.Types.unlinked ->
+            Types.Queued
+              (fun () ->
+                Sim.Engine.delay sys.Types.params.Params.open_local_ns;
+                Ok
+                  (P_attrs
+                     {
+                       ino = f.Types.fid.Types.ino;
+                       size = f.Types.size;
+                       generation = f.Types.generation;
+                     }))
+          | _ -> Types.Immediate (Error Types.ENOENT))
+        | _ -> Types.Immediate (Error Types.EFAULT));
+    Rpc.register create_op (fun sys cell ~src:_ arg ->
+        match arg with
+        | P_create { path; content = _ }
+          when String.length path > 8 && String.sub path 0 8 = "\000unlink:" ->
+          let real = String.sub path 8 (String.length path - 8) in
+          (match find_local cell real with
+          | Some f ->
+            f.Types.unlinked <- true;
+            Hashtbl.remove cell.Types.files real
+          | None -> ());
+          Types.Immediate (Ok (P_created { ino = 0 }))
+        | P_create { path; content } ->
+          Types.Queued
+            (fun () ->
+              Sim.Engine.delay sys.Types.params.Params.open_local_ns;
+              let f = create_local sys cell ~path ~content in
+              Ok (P_created { ino = f.Types.fid.Types.ino }))
+        | _ -> Types.Immediate (Error Types.EFAULT));
+    Rpc.register setsize_op (fun _sys cell ~src:_ arg ->
+        match arg with
+        | P_setsize { ino; size } ->
+          (match find_by_ino cell ino with
+          | Some f -> f.Types.size <- max f.Types.size size
+          | None -> ());
+          Types.Immediate (Ok Types.P_unit)
+        | _ -> Types.Immediate (Error Types.EFAULT));
+    Rpc.register locate_op (fun sys cell ~src arg ->
+        match arg with
+        | P_locate { ino; page; npages; writable } -> (
+          match find_by_ino cell ino with
+          | None -> Types.Immediate (Error Types.ENOENT)
+          | Some f ->
+            let psize = page_size sys in
+            (* Writable locates pre-allocate the whole requested cluster
+               (an extending writer will fill it); read locates stop at
+               EOF. *)
+            let last_page =
+              if writable then page + npages - 1
+              else max page ((max 1 f.Types.size - 1) / psize)
+            in
+            let wanted =
+              List.init (min npages (last_page - page + 1)) (fun i -> page + i)
+            in
+            let all_cached =
+              List.for_all
+                (fun pg -> Hashtbl.mem f.Types.cached_pages pg)
+                wanted
+            in
+            let serve () =
+              Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
+              let pages =
+                List.map
+                  (fun pg ->
+                    (* Block allocation for pages a remote writer extends. *)
+                    if writable && pg * psize >= f.Types.size then
+                      Sim.Engine.delay
+                        sys.Types.params.Params.fs_block_alloc_ns;
+                    let pf = page_in sys cell f pg in
+                    Share.export sys cell pf ~client:src ~writable;
+                    if writable then pf.Types.dirty <- true;
+                    (pg, pf.Types.pfn))
+                  wanted
+              in
+              Ok (P_located { pages })
+            in
+            if all_cached then
+              (* Hit in the file cache: serviced entirely at interrupt
+                 level (Section 4.3 explains why no blocking locks are
+                 needed on this path). *)
+              Types.Immediate (serve ())
+            else Types.Queued serve)
+        | _ -> Types.Immediate (Error Types.EFAULT))
+  end

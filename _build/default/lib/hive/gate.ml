@@ -1,0 +1,22 @@
+(* User-level suspension gate.
+
+   During distributed agreement and recovery, user-level processes are
+   suspended while kernel-level threads continue (Section 4.3). Process
+   threads pass through the gate at syscall and fault entry points and
+   block while it is closed. *)
+
+let close (c : Types.cell) = c.Types.user_gate_open <- false
+
+let open_ (sys : Types.system) (c : Types.cell) =
+  c.Types.user_gate_open <- true;
+  let ws = c.Types.gate_waiters in
+  c.Types.gate_waiters <- [];
+  List.iter (fun t -> ignore (Sim.Engine.try_resume sys.Types.eng t)) ws
+
+let pass (c : Types.cell) =
+  while not c.Types.user_gate_open do
+    Sim.Engine.suspend (fun thr ->
+        c.Types.gate_waiters <- c.Types.gate_waiters @ [ thr ])
+  done
+
+let is_open (c : Types.cell) = c.Types.user_gate_open

@@ -1,0 +1,11 @@
+(** User-level suspension gate.
+
+   During distributed agreement and recovery, user-level processes are
+   suspended while kernel-level threads continue (Section 4.3). Process
+   threads pass through the gate at syscall and fault entry points and
+   block while it is closed. *)
+
+val close : Types.cell -> unit
+val open_ : Types.system -> Types.cell -> unit
+val pass : Types.cell -> unit
+val is_open : Types.cell -> bool

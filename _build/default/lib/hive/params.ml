@@ -1,0 +1,103 @@
+(* Calibrated kernel path costs, in nanoseconds of 200-MHz processor time.
+
+   These are *component* costs taken from the paper's measured breakdowns
+   (Table 5.2 and Section 6); end-to-end latencies, ratios and workload
+   slowdowns are not hardcoded anywhere — they emerge from composing these
+   components with the machine model, and the benches compare the emergent
+   numbers against the paper. *)
+
+type t = {
+  (* Clock and failure detection *)
+  tick_ns : int64;
+  clock_check_cost_ns : int64;
+  clock_stall_ticks : int;
+  rpc_timeout_ns : int64;
+  spin_timeout_ns : int64;
+  (* Careful reference protocol *)
+  careful_on_ns : int64;
+  careful_off_ns : int64;
+  careful_check_ns : int64;
+  (* RPC engine *)
+  rpc_client_send_ns : int64;
+  rpc_client_recv_ns : int64;
+  rpc_server_dispatch_ns : int64;
+  rpc_server_reply_ns : int64;
+  rpc_stub_marshal_ns : int64;
+  rpc_alloc_free_ns : int64;
+  rpc_queue_handoff_ns : int64;
+  rpc_context_switch_ns : int64;
+  rpc_server_pool : int;
+  (* Virtual memory paths (Table 5.2 components) *)
+  fault_local_hit_ns : int64;
+  fault_client_fs_ns : int64;
+  fault_client_lock_ns : int64;
+  fault_client_vm_ns : int64;
+  fault_import_ns : int64;
+  fault_home_vm_ns : int64;
+  fault_export_ns : int64;
+  (* File system paths *)
+  open_local_ns : int64;
+  open_remote_extra_ns : int64;
+  read_write_page_overhead_ns : int64;
+  remote_read_bind_ns : int64;
+  fs_block_alloc_ns : int64;
+  (* Process management *)
+  fork_local_ns : int64;
+  fork_remote_extra_ns : int64;
+  exec_ns : int64;
+  exit_ns : int64;
+  context_switch_ns : int64;
+  (* Recovery *)
+  enable_preemptive_discard : bool;
+      (* ablation knob: turn off the wild-write defense's discard step *)
+  recovery_scan_page_ns : int64;
+  recovery_phase_ns : int64;
+  agreement_vote_ns : int64;
+  (* Wax *)
+  wax_period_ns : int64;
+  wax_scan_cost_ns : int64;
+}
+
+let default =
+  {
+    tick_ns = 10_000_000L;
+    clock_check_cost_ns = 230L;
+    clock_stall_ticks = 2;
+    rpc_timeout_ns = 200_000_000L;
+    spin_timeout_ns = 50_000L;
+    careful_on_ns = 260L;
+    careful_off_ns = 200L;
+    careful_check_ns = 60L;
+    rpc_client_send_ns = 1_200L;
+    rpc_client_recv_ns = 1_150L;
+    rpc_server_dispatch_ns = 1_650L;
+    rpc_server_reply_ns = 1_200L;
+    rpc_stub_marshal_ns = 2_400L;
+    rpc_alloc_free_ns = 3_700L;
+    rpc_queue_handoff_ns = 13_000L;
+    rpc_context_switch_ns = 14_000L;
+    rpc_server_pool = 4;
+    fault_local_hit_ns = 6_900L;
+    fault_client_fs_ns = 9_000L;
+    fault_client_lock_ns = 5_500L;
+    fault_client_vm_ns = 8_700L;
+    fault_import_ns = 4_800L;
+    fault_home_vm_ns = 3_400L;
+    fault_export_ns = 2_000L;
+    open_local_ns = 148_000L;
+    open_remote_extra_ns = 380_000L;
+    read_write_page_overhead_ns = 16_000L;
+    remote_read_bind_ns = 3_500L;
+    fs_block_alloc_ns = 20_000L;
+    fork_local_ns = 700_000L;
+    fork_remote_extra_ns = 250_000L;
+    exec_ns = 900_000L;
+    exit_ns = 300_000L;
+    context_switch_ns = 10_000L;
+    enable_preemptive_discard = true;
+    recovery_scan_page_ns = 400L;
+    recovery_phase_ns = 14_000_000L;
+    agreement_vote_ns = 50_000L;
+    wax_period_ns = 100_000_000L;
+    wax_scan_cost_ns = 50_000L;
+  }

@@ -1,0 +1,51 @@
+(** Calibrated kernel path costs, in nanoseconds of 200-MHz processor time.
+
+   These are *component* costs taken from the paper's measured breakdowns
+   (Table 5.2 and Section 6); end-to-end latencies, ratios and workload
+   slowdowns are not hardcoded anywhere — they emerge from composing these
+   components with the machine model, and the benches compare the emergent
+   numbers against the paper. *)
+
+type t = {
+  tick_ns : int64;
+  clock_check_cost_ns : int64;
+  clock_stall_ticks : int;
+  rpc_timeout_ns : int64;
+  spin_timeout_ns : int64;
+  careful_on_ns : int64;
+  careful_off_ns : int64;
+  careful_check_ns : int64;
+  rpc_client_send_ns : int64;
+  rpc_client_recv_ns : int64;
+  rpc_server_dispatch_ns : int64;
+  rpc_server_reply_ns : int64;
+  rpc_stub_marshal_ns : int64;
+  rpc_alloc_free_ns : int64;
+  rpc_queue_handoff_ns : int64;
+  rpc_context_switch_ns : int64;
+  rpc_server_pool : int;
+  fault_local_hit_ns : int64;
+  fault_client_fs_ns : int64;
+  fault_client_lock_ns : int64;
+  fault_client_vm_ns : int64;
+  fault_import_ns : int64;
+  fault_home_vm_ns : int64;
+  fault_export_ns : int64;
+  open_local_ns : int64;
+  open_remote_extra_ns : int64;
+  read_write_page_overhead_ns : int64;
+  remote_read_bind_ns : int64;
+  fs_block_alloc_ns : int64;
+  fork_local_ns : int64;
+  fork_remote_extra_ns : int64;
+  exec_ns : int64;
+  exit_ns : int64;
+  context_switch_ns : int64;
+  enable_preemptive_discard : bool;
+  recovery_scan_page_ns : int64;
+  recovery_phase_ns : int64;
+  agreement_vote_ns : int64;
+  wax_period_ns : int64;
+  wax_scan_cost_ns : int64;
+}
+val default : t

@@ -1,0 +1,20 @@
+(** Page frame data structures (Section 5.1).
+
+   Each page frame in paged memory is managed by a pfdat recording the
+   logical page id of the data stored in the frame; pfdats are linked into
+   a per-cell hash table allowing lookup by logical id. Hive adds
+   dynamically-allocated *extended pfdats* that bind a remote page (import)
+   or a borrowed remote frame into the local table, letting most of the
+   kernel operate on remote pages as if they were local. *)
+
+val make : pfn:int -> table_cell:Types.cell_id -> Types.pfdat
+val of_frame : Types.cell -> int -> Types.pfdat
+val lookup :
+  Types.cell -> Types.logical_id -> Types.pfdat option
+val insert :
+  Types.cell -> Types.logical_id -> Types.pfdat -> unit
+val remove : Types.cell -> Types.pfdat -> unit
+val alloc_extended : Types.cell -> pfn:int -> Types.pfdat
+val free_extended : Types.cell -> Types.pfdat -> unit
+val is_idle : Types.pfdat -> bool
+val iter_pages : Types.cell -> (Types.pfdat -> unit) -> unit

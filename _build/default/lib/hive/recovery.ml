@@ -1,0 +1,131 @@
+(* Recovery after a confirmed cell failure (Section 4.3).
+
+   Given consensus on the live set, each surviving cell runs recovery to
+   clean up dangling references and determine which processes must be
+   killed. A double global barrier synchronizes the preemptive discard:
+
+   - before barrier 1, each cell flushes its TLBs and removes remote
+     mappings (faults arriving later are held up on the client side);
+   - after barrier 1, no valid remote accesses are pending, so each cell
+     revokes firewall permissions it granted to the failed cells, discards
+     every page they could have written (notifying the file system about
+     lost dirty pages), and cleans its VM structures;
+   - after barrier 2, cells resume normal operation.
+
+   At the end of a round a recovery master is elected from the new live
+   set; it runs hardware diagnostics on the failed nodes and (if they
+   pass) can reboot and reintegrate the failed cells. *)
+
+type Types.payload +=
+  | P_recovery_start of { dead : Types.cell_id list }
+
+let start_op = "recovery.start"
+
+let diagnostics_ns = 18_000_000L
+
+(* The per-cell recovery algorithm, run in its own kernel thread. *)
+let recovery_sequence (sys : Types.system) (c : Types.cell) ~dead =
+  let p = sys.Types.params in
+  let eng = sys.Types.eng in
+  sys.Types.recovery_events <-
+    (c.Types.cell_id, Sim.Engine.now eng) :: sys.Types.recovery_events;
+  c.Types.in_recovery <- true;
+  Gate.close c;
+  Types.bump c "recovery.rounds";
+  c.Types.live_set <- List.filter (fun id -> not (List.mem id dead)) c.Types.live_set;
+  (* Phase 1: TLB flush + removal of remote mappings and import bindings. *)
+  Vm.flush_remote_bindings sys c;
+  Sim.Engine.delay p.Params.recovery_phase_ns;
+  (match sys.Types.recovery_barrier1 with
+  | Some b -> Sim.Barrier.await eng b
+  | None -> ());
+  (* Phase 2: nothing remote is pending now; revoke grants and discard
+     everything the failed cells could have written. (The ablation knob
+     models a system without preemptive discard: corrupt pages stay.) *)
+  let discarded =
+    if p.Params.enable_preemptive_discard then
+      Vm.preemptive_discard sys c ~dead
+    else 0
+  in
+  Sim.Trace.info eng "cell %d recovery: discarded %d pages" c.Types.cell_id
+    discarded;
+  (* Kill processes that depended on resources of the failed cells. *)
+  List.iter
+    (fun (proc : Types.process) ->
+      if
+        proc.Types.pstate <> Types.Proc_zombie
+        && List.exists (fun d -> List.mem d dead) proc.Types.uses_cells
+      then begin
+        proc.Types.killed_by_failure <- true;
+        Types.bump c "recovery.procs_killed";
+        match proc.Types.thread with
+        | Some t -> Sim.Engine.kill eng t
+        | None -> ()
+      end)
+    c.Types.processes;
+  Sim.Engine.delay p.Params.recovery_phase_ns;
+  (match sys.Types.recovery_barrier2 with
+  | Some b -> Sim.Barrier.await eng b
+  | None -> ());
+  (* Back to normal operation. *)
+  c.Types.suspected <- [];
+  c.Types.in_recovery <- false;
+  Gate.open_ sys c;
+  (* The recovery master finishes the round. *)
+  let min_live = List.fold_left min max_int c.Types.live_set in
+  if c.Types.cell_id = min_live then begin
+    (* Diagnose the failed nodes; reintegration would go here. *)
+    Sim.Engine.delay diagnostics_ns;
+    sys.Types.recovery_complete_at <- Sim.Engine.now eng;
+    sys.Types.recovery_in_progress <- false;
+    Types.sys_bump sys "recovery.completed";
+    match sys.Types.wax_restart with
+    | Some f -> f sys
+    | None -> ()
+  end
+
+let start_recovery_thread (sys : Types.system) (c : Types.cell) ~dead =
+  let thr =
+    Sim.Engine.spawn sys.Types.eng
+      ~name:(Printf.sprintf "cell%d.recovery" c.Types.cell_id)
+      (fun () -> recovery_sequence sys c ~dead)
+  in
+  c.Types.kernel_threads <- thr :: c.Types.kernel_threads
+
+(* Kick off a recovery round for the confirmed dead set. Called on the
+   accusing cell after agreement (or directly by the failure oracle). *)
+let initiate (sys : Types.system) ~dead =
+  sys.Types.recovery_in_progress <- true;
+  Types.sys_bump sys "recovery.initiated";
+  (* Force any "dead" cell that is in fact still running (erratic kernel)
+     to stop: the confirmed consensus supersedes its own opinion. *)
+  List.iter
+    (fun d ->
+      let dc = sys.Types.cells.(d) in
+      if dc.Types.cstatus <> Types.Cell_down then
+        Panic.panic sys dc "declared failed by distributed agreement")
+    dead;
+  let live =
+    Array.to_list sys.Types.cells
+    |> List.filter_map (fun (c : Types.cell) ->
+           if Types.cell_alive c && not (List.mem c.Types.cell_id dead) then
+             Some c
+           else None)
+  in
+  let parties = List.length live in
+  sys.Types.recovery_barrier1 <- Some (Sim.Barrier.create (max 1 parties));
+  sys.Types.recovery_barrier2 <- Some (Sim.Barrier.create (max 1 parties));
+  List.iter (fun c -> start_recovery_thread sys c ~dead) live
+
+let registered = ref false
+
+let register_handlers () =
+  if not !registered then begin
+    registered := true;
+    Rpc.register start_op (fun sys cell ~src:_ arg ->
+        match arg with
+        | P_recovery_start { dead } ->
+          start_recovery_thread sys cell ~dead;
+          Types.Immediate (Ok Types.P_unit)
+        | _ -> Types.Immediate (Error Types.EFAULT))
+  end

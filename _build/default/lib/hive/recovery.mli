@@ -1,0 +1,31 @@
+(** Recovery after a confirmed cell failure (Section 4.3).
+
+   Given consensus on the live set, each surviving cell runs recovery to
+   clean up dangling references and determine which processes must be
+   killed. A double global barrier synchronizes the preemptive discard:
+
+   - before barrier 1, each cell flushes its TLBs and removes remote
+     mappings (faults arriving later are held up on the client side);
+   - after barrier 1, no valid remote accesses are pending, so each cell
+     revokes firewall permissions it granted to the failed cells, discards
+     every page they could have written (notifying the file system about
+     lost dirty pages), and cleans its VM structures;
+   - after barrier 2, cells resume normal operation.
+
+   At the end of a round a recovery master is elected from the new live
+   set; it runs hardware diagnostics on the failed nodes and (if they
+   pass) can reboot and reintegrate the failed cells. *)
+
+type Types.payload +=
+    P_recovery_start of { dead : Types.cell_id list; }
+val start_op : string
+val diagnostics_ns : int64
+val recovery_sequence :
+  Types.system ->
+  Types.cell -> dead:Types.cell_id list -> unit
+val start_recovery_thread :
+  Types.system ->
+  Types.cell -> dead:Types.cell_id list -> unit
+val initiate : Types.system -> dead:Types.cell_id list -> unit
+val registered : bool ref
+val register_handlers : unit -> unit

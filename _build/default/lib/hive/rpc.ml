@@ -1,0 +1,214 @@
+(* Intercell RPC on top of the SIPS hardware primitive (Section 6).
+
+   The subsystem is much leaner than classical distributed-system RPC: SIPS
+   is reliable, so there is no retransmission or duplicate suppression; a
+   cache line (128 bytes) carries most argument/result records, and larger
+   data is passed by reference through shared memory (costed as a copy plus
+   allocation, per Table 5.2).
+
+   The base system services requests at interrupt level on the receiving
+   node. A queuing service and server-process pool handles longer-latency
+   requests (those that may block, e.g. for I/O): an initial interrupt-level
+   RPC launches the operation and a completion reply returns the result. *)
+
+type Flash.Sips.message +=
+  | M_request of {
+      call_id : int;
+      src_cell : int;
+      op : string;
+      arg : Types.payload;
+      arg_bytes : int;
+    }
+  | M_reply of { call_id : int; outcome : Types.rpc_outcome }
+
+type handler =
+  Types.system -> Types.cell -> src:Types.cell_id -> Types.payload ->
+  Types.handler_action
+
+let handlers : (string, handler) Hashtbl.t = Hashtbl.create 64
+
+let register op h =
+  if Hashtbl.mem handlers op then invalid_arg ("Rpc.register: duplicate " ^ op);
+  Hashtbl.replace handlers op h
+
+let registered op = Hashtbl.mem handlers op
+
+(* Marshaling cost on one side of a call carrying [bytes] of payload:
+   stub execution, plus, beyond one cache line, buffer allocation and a
+   copy through shared memory. *)
+let marshal_cost (sys : Types.system) bytes =
+  let p = sys.Types.params in
+  if bytes <= 0 then 0L
+  else if bytes <= Flash.Sips.max_payload then p.Params.rpc_stub_marshal_ns
+  else
+    Int64.add
+      (Int64.add p.Params.rpc_stub_marshal_ns p.Params.rpc_alloc_free_ns)
+      (Flash.Config.copy_cost sys.Types.mcfg bytes)
+
+let report_hint (sys : Types.system) (from : Types.cell) suspect reason =
+  match sys.Types.on_hint with
+  | Some f -> f from ~suspect ~reason
+  | None -> ()
+
+exception Rpc_failed of Types.cell_id * string
+
+(* Send the reply for a completed request back to the caller. *)
+let send_reply (sys : Types.system) (server : Types.cell) ~src_cell ~call_id
+    outcome =
+  let p = sys.Types.params in
+  Sim.Engine.delay p.Params.rpc_server_reply_ns;
+  let client_cell = sys.Types.cells.(src_cell) in
+  try
+    Flash.Sips.send
+      (Flash.Machine.sips sys.Types.machine)
+      ~from_proc:(Types.boss_proc server)
+      ~to_node:(Types.boss_proc client_cell) ~kind:Flash.Sips.Reply ~size:64
+      (M_reply { call_id; outcome })
+  with Flash.Sips.Target_failed _ -> ()
+
+(* Interrupt-level service of one incoming request. *)
+let service_request (sys : Types.system) (server : Types.cell) env =
+  let p = sys.Types.params in
+  match env.Flash.Sips.msg with
+  | M_request { call_id; src_cell; op; arg; arg_bytes } -> (
+    Types.bump server "rpc.served";
+    let cpu = Flash.Machine.cpu sys.Types.machine (Types.boss_proc server) in
+    Flash.Cpu.steal sys.Types.eng cpu p.Params.rpc_server_dispatch_ns;
+    if arg_bytes > Flash.Sips.max_payload then
+      Sim.Engine.delay (marshal_cost sys arg_bytes);
+    match Hashtbl.find_opt handlers op with
+    | None ->
+      send_reply sys server ~src_cell ~call_id (Error Types.EFAULT)
+    | Some h -> (
+      match h sys server ~src:src_cell arg with
+      | Types.Immediate outcome ->
+        send_reply sys server ~src_cell ~call_id outcome
+      | Types.Queued f ->
+        (* Longer-latency request: hand off to the server process pool;
+           the completion reply is sent from the server process. *)
+        Types.bump server "rpc.queued";
+        Flash.Cpu.steal sys.Types.eng cpu p.Params.rpc_queue_handoff_ns;
+        Sim.Mailbox.send sys.Types.eng server.Types.rpc_queue (fun () ->
+            Sim.Engine.delay p.Params.rpc_context_switch_ns;
+            let outcome = try f () with Types.Syscall_error e -> Error e in
+            send_reply sys server ~src_cell ~call_id outcome)
+      | exception Types.Syscall_error e ->
+        send_reply sys server ~src_cell ~call_id (Error e)))
+  | _ -> ()
+
+(* Deliver one reply to the pending-call table. *)
+let service_reply (sys : Types.system) (client : Types.cell) env =
+  match env.Flash.Sips.msg with
+  | M_reply { call_id; outcome } -> (
+    match Hashtbl.find_opt client.Types.pending_calls call_id with
+    | None -> () (* caller timed out and gave up *)
+    | Some pc ->
+      Hashtbl.remove client.Types.pending_calls call_id;
+      Sim.Ivar.fill sys.Types.eng pc.Types.call_done outcome)
+  | _ -> ()
+
+(* Per-cell kernel threads: an interrupt dispatcher for requests, one for
+   replies, and a pool of server processes for queued requests. *)
+let start_threads (sys : Types.system) (cell : Types.cell) =
+  let eng = sys.Types.eng in
+  let sips = Flash.Machine.sips sys.Types.machine in
+  let node = Types.boss_proc cell in
+  let spawn name body =
+    let thr = Sim.Engine.spawn eng ~name body in
+    cell.Types.kernel_threads <- thr :: cell.Types.kernel_threads
+  in
+  spawn
+    (Printf.sprintf "cell%d.rpc.reqs" cell.Types.cell_id)
+    (fun () ->
+      let rec loop () =
+        match Flash.Sips.receive sips ~node ~kind:Flash.Sips.Request with
+        | Some env ->
+          service_request sys cell env;
+          loop ()
+        | None -> ()
+      in
+      loop ());
+  spawn
+    (Printf.sprintf "cell%d.rpc.replies" cell.Types.cell_id)
+    (fun () ->
+      let rec loop () =
+        match Flash.Sips.receive sips ~node ~kind:Flash.Sips.Reply with
+        | Some env ->
+          service_reply sys cell env;
+          loop ()
+        | None -> ()
+      in
+      loop ());
+  for i = 1 to sys.Types.params.Params.rpc_server_pool do
+    spawn
+      (Printf.sprintf "cell%d.rpc.pool%d" cell.Types.cell_id i)
+      (fun () ->
+        let rec loop () =
+          match Sim.Mailbox.receive eng cell.Types.rpc_queue with
+          | Some work ->
+            work ();
+            loop ()
+          | None -> ()
+        in
+        loop ())
+  done
+
+(* Client side of a call. Returns the outcome, or [Error EHOSTDOWN] after a
+   timeout or delivery failure (also reporting a failure hint, since an RPC
+   timeout means the target cell is potentially failed). *)
+let call (sys : Types.system) ~(from : Types.cell) ~target ~op
+    ?(arg_bytes = 64) ?(reply_bytes = 64) ?timeout_ns arg =
+  let p = sys.Types.params in
+  let timeout_ns =
+    match timeout_ns with Some t -> t | None -> p.Params.rpc_timeout_ns
+  in
+  let eng = sys.Types.eng in
+  Types.bump from "rpc.calls";
+  if not (List.mem target from.Types.live_set) then Error Types.EHOSTDOWN
+  else begin
+    Sim.Engine.delay p.Params.rpc_client_send_ns;
+    Sim.Engine.delay (marshal_cost sys arg_bytes);
+    from.Types.next_call_id <- from.Types.next_call_id + 1;
+    let call_id =
+      (from.Types.cell_id * 1_000_000) + from.Types.next_call_id
+    in
+    let pc =
+      { Types.call_id; reply = None; call_done = Sim.Ivar.create () }
+    in
+    Hashtbl.replace from.Types.pending_calls call_id pc;
+    let target_cell = sys.Types.cells.(target) in
+    match
+      Flash.Sips.send
+        (Flash.Machine.sips sys.Types.machine)
+        ~from_proc:(Types.boss_proc from)
+        ~to_node:(Types.boss_proc target_cell)
+        ~kind:Flash.Sips.Request
+        ~size:(min arg_bytes Flash.Sips.max_payload)
+        (M_request
+           { call_id; src_cell = from.Types.cell_id; op; arg; arg_bytes })
+    with
+    | exception Flash.Sips.Target_failed _ ->
+      Hashtbl.remove from.Types.pending_calls call_id;
+      report_hint sys from target "rpc: target node down";
+      Error Types.EHOSTDOWN
+    | () -> (
+      (* The client processor spins waiting for the reply; it only context
+         switches after a timeout of 50 us, which almost never occurs. *)
+      match Sim.Ivar.read ~timeout:timeout_ns eng pc.Types.call_done with
+      | Some outcome ->
+        Sim.Engine.delay p.Params.rpc_client_recv_ns;
+        if reply_bytes > Flash.Sips.max_payload then
+          Sim.Engine.delay (marshal_cost sys reply_bytes);
+        outcome
+      | None ->
+        Hashtbl.remove from.Types.pending_calls call_id;
+        Types.bump from "rpc.timeouts";
+        report_hint sys from target "rpc: timeout";
+        Error Types.EHOSTDOWN)
+  end
+
+(* Convenience wrapper raising Syscall_error on failure. *)
+let call_exn sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns arg =
+  match call sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns arg with
+  | Ok v -> v
+  | Error e -> raise (Types.Syscall_error e)

@@ -1,0 +1,55 @@
+(** Intercell RPC on top of the SIPS hardware primitive (Section 6).
+
+   The subsystem is much leaner than classical distributed-system RPC: SIPS
+   is reliable, so there is no retransmission or duplicate suppression; a
+   cache line (128 bytes) carries most argument/result records, and larger
+   data is passed by reference through shared memory (costed as a copy plus
+   allocation, per Table 5.2).
+
+   The base system services requests at interrupt level on the receiving
+   node. A queuing service and server-process pool handles longer-latency
+   requests (those that may block, e.g. for I/O): an initial interrupt-level
+   RPC launches the operation and a completion reply returns the result. *)
+
+type Flash.Sips.message +=
+    M_request of { call_id : int; src_cell : int; op : string;
+      arg : Types.payload; arg_bytes : int;
+    }
+  | M_reply of { call_id : int; outcome : Types.rpc_outcome; }
+type handler =
+    Types.system ->
+    Types.cell ->
+    src:Types.cell_id -> Types.payload -> Types.handler_action
+val handlers : (string, handler) Hashtbl.t
+val register : string -> handler -> unit
+val registered : string -> bool
+val marshal_cost : Types.system -> int -> int64
+val report_hint :
+  Types.system ->
+  Types.cell -> Types.cell_id -> string -> unit
+exception Rpc_failed of Types.cell_id * string
+val send_reply :
+  Types.system ->
+  Types.cell ->
+  src_cell:int -> call_id:int -> Types.rpc_outcome -> unit
+val service_request :
+  Types.system -> Types.cell -> Flash.Sips.envelope -> unit
+val service_reply :
+  Types.system -> Types.cell -> Flash.Sips.envelope -> unit
+val start_threads : Types.system -> Types.cell -> unit
+val call :
+  Types.system ->
+  from:Types.cell ->
+  target:Types.cell_id ->
+  op:string ->
+  ?arg_bytes:int ->
+  ?reply_bytes:int ->
+  ?timeout_ns:int64 -> Types.payload -> Types.rpc_outcome
+val call_exn :
+  Types.system ->
+  from:Types.cell ->
+  target:Types.cell_id ->
+  op:string ->
+  ?arg_bytes:int ->
+  ?reply_bytes:int ->
+  ?timeout_ns:int64 -> Types.payload -> Types.payload

@@ -1,0 +1,111 @@
+(* Logical-level memory sharing primitives (Table 5.1 of the paper).
+
+   export: the data home records that a client cell is accessing one of
+   its data pages (pinning it and noting the dependency for recovery), and
+   grants firewall write permission to the client's processors if the
+   client requested a writable mapping.
+
+   import: the client allocates an extended pfdat bound to the remote
+   page and inserts it into its pfdat hash table, after which most of the
+   kernel operates on the page as if it were local.
+
+   release: the client frees the extended pfdat and tells the data home,
+   which unpins the page (keeping it cached on its own free list for fast
+   re-access). *)
+
+type Types.payload += P_release of { lid : Types.logical_id }
+
+let release_op = "share.release"
+
+(* Data-home side: record a client's access to a cached page. *)
+let export (sys : Types.system) (home : Types.cell) (pf : Types.pfdat)
+    ~client ~writable =
+  Sim.Engine.delay sys.Types.params.Params.fault_export_ns;
+  Types.bump home "share.exports";
+  if not (List.mem client pf.Types.exported_to) then
+    pf.Types.exported_to <- client :: pf.Types.exported_to;
+  if writable then Wild_write.grant_for_export sys home pf ~client
+
+(* Client side: bind a remote page into the local pfdat table.
+
+   CC-NUMA special case (Section 5.5): when the client is the *memory
+   home* of a frame it loaned out and the data home placed this page in
+   it, the preexisting (loaned) pfdat is reused rather than allocating an
+   extended one — the logical-level and physical-level state machines use
+   separate fields within the pfdat. *)
+let import (sys : Types.system) (client : Types.cell) ~pfn ~data_home ~lid
+    ~writable =
+  Sim.Engine.delay sys.Types.params.Params.fault_import_ns;
+  Types.bump client "share.imports";
+  match Pfdat.lookup client lid with
+  | Some pf -> pf (* raced with another local importer *)
+  | None ->
+    let pf =
+      match Hashtbl.find_opt client.Types.frames pfn with
+      | Some existing when existing.Types.loaned_to <> None ->
+        (* Reimporting one of our own loaned frames. *)
+        Types.bump client "share.reimports";
+        existing
+      | Some _ | None ->
+        let pf = Pfdat.alloc_extended client ~pfn in
+        Hashtbl.replace client.Types.frames pfn pf;
+        pf
+    in
+    pf.Types.imported_from <- Some data_home;
+    ignore writable;
+    Pfdat.insert client lid pf;
+    pf
+
+(* Client side: drop an imported page binding and notify the data home. *)
+let release (sys : Types.system) (client : Types.cell) (pf : Types.pfdat) =
+  match (pf.Types.imported_from, pf.Types.lid) with
+  | Some home, Some lid ->
+    if pf.Types.loaned_to <> None then begin
+      (* A reimported loaned frame: drop only the logical-level state. *)
+      Pfdat.remove client pf;
+      pf.Types.imported_from <- None
+    end
+    else Pfdat.free_extended client pf;
+    Types.bump client "share.releases";
+    if List.mem home client.Types.live_set then
+      ignore
+        (Rpc.call sys ~from:client ~target:home ~op:release_op
+           (P_release { lid }))
+  | _ ->
+    (* The binding may already have been dropped (e.g. by recovery's
+       flush while this thread was mid-fault): releasing is idempotent. *)
+    Types.bump client "share.release_races";
+    if pf.Types.extended then Pfdat.free_extended client pf
+
+(* Drop an import binding without an RPC (used during recovery, when the
+   data home is gone or will clean up on its own side of the barrier). *)
+let drop_import (client : Types.cell) (pf : Types.pfdat) =
+  if pf.Types.loaned_to <> None then begin
+    Pfdat.remove client pf;
+    pf.Types.imported_from <- None
+  end
+  else Pfdat.free_extended client pf
+
+(* Data-home side: a client released its binding. Write permission was
+   granted "as long as any process on that cell has the page mapped"
+   (Section 4.2), so the release also revokes any firewall grant. *)
+let unexport (sys : Types.system) (home : Types.cell) ~client ~lid =
+  match Pfdat.lookup home lid with
+  | Some pf ->
+    pf.Types.exported_to <-
+      List.filter (fun c -> c <> client) pf.Types.exported_to;
+    Wild_write.revoke_client sys home pf ~client
+  | None -> ()
+
+let registered = ref false
+
+let register_handlers () =
+  if not !registered then begin
+    registered := true;
+    Rpc.register release_op (fun sys cell ~src arg ->
+        match arg with
+        | P_release { lid } ->
+          unexport sys cell ~client:src ~lid;
+          Types.Immediate (Ok Types.P_unit)
+        | _ -> Types.Immediate (Error Types.EFAULT))
+  end

@@ -1,0 +1,36 @@
+(** Logical-level memory sharing primitives (Table 5.1 of the paper).
+
+   export: the data home records that a client cell is accessing one of
+   its data pages (pinning it and noting the dependency for recovery), and
+   grants firewall write permission to the client's processors if the
+   client requested a writable mapping.
+
+   import: the client allocates an extended pfdat bound to the remote
+   page and inserts it into its pfdat hash table, after which most of the
+   kernel operates on the page as if it were local.
+
+   release: the client frees the extended pfdat and tells the data home,
+   which unpins the page (keeping it cached on its own free list for fast
+   re-access). *)
+
+type Types.payload += P_release of { lid : Types.logical_id; }
+val release_op : string
+val export :
+  Types.system ->
+  Types.cell ->
+  Types.pfdat -> client:Types.cell_id -> writable:bool -> unit
+val import :
+  Types.system ->
+  Types.cell ->
+  pfn:int ->
+  data_home:Types.cell_id ->
+  lid:Types.logical_id -> writable:'a -> Types.pfdat
+val release :
+  Types.system -> Types.cell -> Types.pfdat -> unit
+val drop_import : Types.cell -> Types.pfdat -> unit
+val unexport :
+  Types.system ->
+  Types.cell ->
+  client:Types.cell_id -> lid:Types.logical_id -> unit
+val registered : bool ref
+val register_handlers : unit -> unit

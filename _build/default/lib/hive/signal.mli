@@ -1,0 +1,38 @@
+(** Distributed process groups and signal delivery.
+
+   The paper's prototype single-system image "provides forks across cell
+   boundaries, distributed process groups and signal delivery" (Section
+   3.3). Process groups span cells: a signal sent to a group is delivered
+   to every member wherever it runs, via one RPC per remote cell holding
+   members. Groups and signal state are per-cell; the group id carries
+   the cell that created it, and membership is tracked where each member
+   runs (no shared mutable structure crosses a cell boundary). *)
+
+type signal = SIGTERM | SIGKILL | SIGUSR1 | SIGUSR2
+val signal_to_string : signal -> string
+type Types.payload +=
+    P_signal of { pid : Types.pid; signal : signal; }
+  | P_signal_group of { pgid : int; signal : signal; }
+val signal_op : string
+val signal_group_op : string
+type pstate = {
+  mutable handlers : (signal * (Types.process -> unit)) list;
+  mutable pending : signal list;
+  mutable pgid : int;
+}
+val table : (Types.pid, pstate) Hashtbl.t
+val state_of : Types.process -> pstate
+val handle :
+  Types.process -> signal -> (Types.process -> unit) -> unit
+val set_pgid : Types.process -> int -> unit
+val get_pgid : Types.process -> int
+val deliver_local : Types.system -> Types.process -> signal -> unit
+val kill :
+  Types.system ->
+  Types.process ->
+  pid:Types.pid -> signal -> (unit, Types.errno) result
+val kill_group :
+  Types.system ->
+  Types.process -> pgid:int -> signal -> (unit, Types.errno) result
+val registered : bool ref
+val register_handlers : unit -> unit

@@ -1,0 +1,190 @@
+(* The single-system-image syscall layer: the UNIX-flavoured API that
+   processes (workloads, examples) program against. Every call passes the
+   user gate (suspension during agreement/recovery) and raises
+   [Types.Syscall_error] on failure. *)
+
+exception E = Types.Syscall_error
+
+let ok = function Ok v -> v | Error e -> raise (E e)
+
+let cell_of (sys : Types.system) (p : Types.process) =
+  sys.Types.cells.(p.Types.proc_cell)
+
+let getpid (p : Types.process) = p.Types.pid
+
+let getcell (p : Types.process) = p.Types.proc_cell
+
+(* ---------- Files ---------- *)
+
+let install_fd (p : Types.process) vnode gen ~writable =
+  let n = p.Types.next_fd in
+  p.Types.next_fd <- n + 1;
+  Hashtbl.replace p.Types.fds n
+    { Types.fd_num = n; vnode; pos = 0; opened_gen = gen; fd_writable = writable };
+  n
+
+let openf (sys : Types.system) (p : Types.process) ?(writable = false) path =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let vnode, gen = ok (Fs.open_file sys c ~path) in
+  let fid = Types.vnode_fid vnode in
+  if fid.Types.home <> p.Types.proc_cell then
+    p.Types.uses_cells <-
+      (if List.mem fid.Types.home p.Types.uses_cells then p.Types.uses_cells
+       else fid.Types.home :: p.Types.uses_cells);
+  install_fd p vnode gen ~writable
+
+let creat (sys : Types.system) (p : Types.process) ?(content = Bytes.empty)
+    path =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let vnode, gen = ok (Fs.create_file sys c ~path ~content) in
+  let fid = Types.vnode_fid vnode in
+  if fid.Types.home <> p.Types.proc_cell then
+    p.Types.uses_cells <-
+      (if List.mem fid.Types.home p.Types.uses_cells then p.Types.uses_cells
+       else fid.Types.home :: p.Types.uses_cells);
+  install_fd p vnode gen ~writable:true
+
+let fd_of (p : Types.process) fd =
+  match Hashtbl.find_opt p.Types.fds fd with
+  | Some f -> f
+  | None -> raise (E Types.EBADF)
+
+let read (sys : Types.system) (p : Types.process) ~fd ~len =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let f = fd_of p fd in
+  let data =
+    ok
+      (Fs.read sys c f.Types.vnode ~opened_gen:f.Types.opened_gen
+         ~pos:f.Types.pos ~len)
+  in
+  f.Types.pos <- f.Types.pos + Bytes.length data;
+  data
+
+let pread (sys : Types.system) (p : Types.process) ~fd ~pos ~len =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let f = fd_of p fd in
+  ok (Fs.read sys c f.Types.vnode ~opened_gen:f.Types.opened_gen ~pos ~len)
+
+let write (sys : Types.system) (p : Types.process) ~fd data =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let f = fd_of p fd in
+  if not f.Types.fd_writable then raise (E Types.EBADF);
+  let n =
+    ok
+      (Fs.write sys c f.Types.vnode ~opened_gen:f.Types.opened_gen
+         ~pos:f.Types.pos data)
+  in
+  f.Types.pos <- f.Types.pos + n;
+  n
+
+let pwrite (sys : Types.system) (p : Types.process) ~fd ~pos data =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let f = fd_of p fd in
+  if not f.Types.fd_writable then raise (E Types.EBADF);
+  ok (Fs.write sys c f.Types.vnode ~opened_gen:f.Types.opened_gen ~pos data)
+
+let seek (p : Types.process) ~fd pos = (fd_of p fd).Types.pos <- pos
+
+let close (sys : Types.system) (p : Types.process) ~fd =
+  let f = fd_of p fd in
+  Hashtbl.remove p.Types.fds fd;
+  (* Closing the last descriptor drops idle import bindings (and thereby
+     remote firewall grants) unless the file is still mapped. *)
+  let still_open =
+    Hashtbl.fold
+      (fun _ (g : Types.fd) acc ->
+        acc || Types.vnode_fid g.Types.vnode = Types.vnode_fid f.Types.vnode)
+      p.Types.fds false
+  in
+  let still_mapped =
+    List.exists
+      (fun (r : Types.region) ->
+        match r.Types.kind with
+        | Types.File_region (v, _) ->
+          Types.vnode_fid v = Types.vnode_fid f.Types.vnode
+        | Types.Anon_region _ -> false)
+      p.Types.regions
+  in
+  if not (still_open || still_mapped) then
+    Fs.release_file_imports sys (cell_of sys p) f.Types.vnode
+
+let fsize (sys : Types.system) (p : Types.process) ~fd =
+  let c = cell_of sys p in
+  ok (Fs.file_size sys c (fd_of p fd).Types.vnode)
+
+let unlink (sys : Types.system) (p : Types.process) path =
+  let c = cell_of sys p in
+  Gate.pass c;
+  ok (Fs.unlink sys c path)
+
+let sync (sys : Types.system) (p : Types.process) =
+  let c = cell_of sys p in
+  Gate.pass c;
+  Fs.sync_cell sys c
+
+(* ---------- Memory ---------- *)
+
+let mmap_file (sys : Types.system) (p : Types.process) ~fd ~npages ~writable =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let f = fd_of p fd in
+  if writable && not f.Types.fd_writable then raise (E Types.EBADF);
+  Vm.map_file sys p f.Types.vnode ~opened_gen:f.Types.opened_gen ~writable
+    ~npages
+
+let mmap_anon (sys : Types.system) (p : Types.process) ~npages =
+  let c = cell_of sys p in
+  Gate.pass c;
+  let leaf = Cow.create_root sys c () in
+  Vm.map_anon sys p leaf ~npages
+
+let touch (sys : Types.system) (p : Types.process) ~vpage ~write =
+  Gate.pass (cell_of sys p);
+  ok (Vm.touch sys p ~vpage ~write)
+
+let write_word (sys : Types.system) (p : Types.process) ~vpage ~offset v =
+  Gate.pass (cell_of sys p);
+  ok (Vm.write_word sys p ~vpage ~offset v)
+
+let read_word (sys : Types.system) (p : Types.process) ~vpage ~offset =
+  Gate.pass (cell_of sys p);
+  ok (Vm.read_word sys p ~vpage ~offset)
+
+(* ---------- Processes ---------- *)
+
+let fork (sys : Types.system) (p : Types.process) ?on_cell ~name body =
+  ok (Process.fork sys p ?on_cell ~name body)
+
+let exec (sys : Types.system) (p : Types.process) path =
+  ok (Process.exec sys p ~path)
+
+let wait = Process.wait
+
+let migrate (sys : Types.system) (p : Types.process) ~to_cell =
+  ok (Process.migrate sys p ~to_cell)
+
+(* ---------- Signals and process groups ---------- *)
+
+let kill (sys : Types.system) (p : Types.process) ~pid signal =
+  Gate.pass (cell_of sys p);
+  ok (Signal.kill sys p ~pid signal)
+
+let killpg (sys : Types.system) (p : Types.process) ~pgid signal =
+  Gate.pass (cell_of sys p);
+  ok (Signal.kill_group sys p ~pgid signal)
+
+let signal_handle (p : Types.process) s f = Signal.handle p s f
+
+let setpgid (p : Types.process) pgid = Signal.set_pgid p pgid
+
+let getpgid (p : Types.process) = Signal.get_pgid p
+
+let wait_all = Process.wait_all
+
+let compute = Process.compute

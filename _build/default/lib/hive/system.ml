@@ -1,0 +1,281 @@
+(* The top-level Hive system: boot, fault injection entry points, and
+   measurement helpers.
+
+   [boot] partitions the machine's nodes evenly among [cells] independent
+   kernels and starts them. With [cells = 1] and the firewall disabled the
+   same kernel code runs as the SMP-OS baseline (the paper's IRIX 5.2
+   comparison point): no remote paths are ever taken, no firewall checks
+   are charged. *)
+
+let register_all_handlers () =
+  Wild_write.register_handlers ();
+  Page_alloc.register_handlers ();
+  Share.register_handlers ();
+  Fs.register_handlers ();
+  Vm.register_handlers ();
+  Process.register_handlers ();
+  Signal.register_handlers ();
+  Agreement.register_handlers ();
+  Recovery.register_handlers ()
+
+let boot_horizon_ns = 5_000_000L
+
+let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
+    ?(ncells = mcfg.Flash.Config.nodes) ?(multicellular = true)
+    ?(oracle = false) ?(wax = true) (eng : Sim.Engine.t) =
+  if ncells < 1 || ncells > mcfg.Flash.Config.nodes then
+    invalid_arg "Hive.boot: bad cell count";
+  if mcfg.Flash.Config.nodes mod ncells <> 0 then
+    invalid_arg "Hive.boot: cells must divide nodes evenly";
+  register_all_handlers ();
+  let machine = Flash.Machine.create eng mcfg in
+  let nodes_per_cell = mcfg.Flash.Config.nodes / ncells in
+  let cells =
+    Array.init ncells (fun i ->
+        let nodes =
+          List.init nodes_per_cell (fun k -> (i * nodes_per_cell) + k)
+        in
+        Cell.make mcfg ~id:i ~nodes)
+  in
+  let sys =
+    {
+      Types.machine;
+      eng;
+      mcfg;
+      params;
+      cells;
+      proc_table = Hashtbl.create 256;
+      next_pid = 0;
+      use_agreement_oracle = oracle;
+      multicellular;
+      recovery_in_progress = false;
+      recovery_events = [];
+      recovery_complete_at = 0L;
+      recovery_barrier1 = None;
+      recovery_barrier2 = None;
+      wax_restart = None;
+      wax_threads = [];
+      wax_incarnation = 0;
+      on_hint = None;
+      sys_counters = Sim.Stats.registry ();
+      trace_faults = false;
+    }
+  in
+  Failure.install sys;
+  (* A kernel thread dying with an uncaught exception panics its own cell;
+     anything unattributable is a simulator bug and aborts loudly. *)
+  Sim.Engine.set_crash_handler eng (fun thr e ->
+      let owner = ref None in
+      Array.iter
+        (fun (c : Types.cell) ->
+          if List.exists (fun t -> t == thr) c.Types.kernel_threads then
+            owner := Some c;
+          List.iter
+            (fun (p : Types.process) ->
+              match p.Types.thread with
+              | Some t when t == thr -> owner := Some c
+              | _ -> ())
+            c.Types.processes)
+        sys.Types.cells;
+      match !owner with
+      | Some c ->
+        Panic.panic sys c
+          (Printf.sprintf "uncaught exception in %s: %s" thr.Sim.Engine.name
+             (Printexc.to_string e))
+      | None ->
+        raise
+          (Failure
+             (Printf.sprintf "simulator bug: thread %s raised %s"
+                thr.Sim.Engine.name (Printexc.to_string e))));
+  (* Hardware fault model: a node failure fail-stops its owning cell. *)
+  Flash.Machine.on_node_failure machine (fun node ->
+      let c = Types.cell_of_node sys node in
+      if c.Types.cstatus <> Types.Cell_down then begin
+        c.Types.cstatus <- Types.Cell_down;
+        Types.sys_bump sys "cell.hw_failures";
+        let ts = c.Types.kernel_threads in
+        c.Types.kernel_threads <- [];
+        List.iter (fun t -> Sim.Engine.kill eng t) ts;
+        List.iter
+          (fun (p : Types.process) ->
+            match p.Types.thread with
+            | Some t when p.Types.pstate <> Types.Proc_zombie ->
+              p.Types.killed_by_failure <- true;
+              Sim.Engine.kill eng t
+            | _ -> ())
+          c.Types.processes
+      end);
+  (* Boot every cell, then let the boot threads run to completion. *)
+  Array.iter
+    (fun c -> ignore (Sim.Engine.spawn eng ~name:"boot" (fun () -> Cell.boot sys c)))
+    cells;
+  Sim.Engine.run ~until:boot_horizon_ns eng;
+  if wax && multicellular then Wax.install sys;
+  sys
+
+(* ---------- Fault injection (the experiments' entry points) ---------- *)
+
+(* Fail-stop hardware fault: halt a node (and thereby its cell). *)
+let inject_node_failure (sys : Types.system) node =
+  Flash.Machine.fail_node sys.Types.machine node
+
+(* Kernel data corruption: overwrite a pointer field of a COW-tree node in
+   [cell]'s kernel memory, in one of the pathological modes of
+   Section 7.4. *)
+type corruption_mode =
+  | Random_address (* point at a random physical address *)
+  | Off_by_one_word (* point one word away from the original *)
+  | Self_pointer (* point back at the structure itself *)
+  | Cross_cell of Types.cell_id (* point into another cell's memory *)
+
+let corrupt_cow_parent (sys : Types.system) (_c : Types.cell)
+    (node : Types.cow_ref) mode rng =
+  let addr = node.Types.cow_addr + Kmem.header_bytes + (8 * Cow.f_parent_addr) in
+  let original =
+    Bytes.get_int64_le
+      (Flash.Memory.peek (Flash.Machine.memory sys.Types.machine) addr 8)
+      0
+  in
+  let victim =
+    Types.cell_of_node sys
+      (Flash.Addr.node_of_addr sys.Types.mcfg node.Types.cow_addr)
+  in
+  let victim_base = victim.Types.kmem.Types.kmem_base in
+  let victim_span = victim.Types.kmem.Types.kmem_limit - victim_base in
+  let corrupted =
+    match mode with
+    | Random_address ->
+      (* A wild pointer that still lands in the victim's own kernel
+         memory: its owner will dereference it trustingly. *)
+      Int64.of_int (victim_base + Sim.Prng.int rng victim_span)
+    | Off_by_one_word -> Int64.add original 8L
+    | Self_pointer -> Int64.of_int node.Types.cow_addr
+    | Cross_cell target ->
+      let t = sys.Types.cells.(target) in
+      Int64.of_int
+        (t.Types.kmem.Types.kmem_base
+        + Sim.Prng.int rng
+            (t.Types.kmem.Types.kmem_limit - t.Types.kmem.Types.kmem_base))
+  in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 corrupted;
+  Flash.Memory.poke (Flash.Machine.memory sys.Types.machine) addr b;
+  (* Make the parent-cell field consistent with a locally-interpreted bad
+     pointer (except for deliberate cross-cell corruption). *)
+  let pc_addr = node.Types.cow_addr + Kmem.header_bytes + (8 * Cow.f_parent_cell) in
+  let cb = Bytes.create 8 in
+  (match mode with
+  | Cross_cell target -> Bytes.set_int64_le cb 0 (Int64.of_int target)
+  | Random_address | Off_by_one_word | Self_pointer ->
+    Bytes.set_int64_le cb 0 (Int64.of_int victim.Types.cell_id));
+  Flash.Memory.poke (Flash.Machine.memory sys.Types.machine) pc_addr cb;
+  Types.sys_bump sys "inject.cow_corruptions"
+
+(* Corrupt a process's address map: make an anon region's leaf pointer
+   garbage, so the owning kernel trips over it on the next fault. *)
+let corrupt_address_map (sys : Types.system) (p : Types.process) mode rng =
+  let is_anon (r : Types.region) =
+    match r.Types.kind with Types.Anon_region _ -> true | _ -> false
+  in
+  match List.find_opt is_anon p.Types.regions with
+  | None -> false
+  | Some r -> (
+    match r.Types.kind with
+    | Types.Anon_region leaf ->
+      let c = sys.Types.cells.(p.Types.proc_cell) in
+      corrupt_cow_parent sys c leaf mode rng;
+      Types.sys_bump sys "inject.map_corruptions";
+      true
+    | Types.File_region _ -> false)
+
+(* Reboot and reintegrate a failed cell after its nodes are repaired (the
+   paper left this unimplemented but "straightforward": the recovery
+   master reboots cells whose hardware diagnostics pass). The cell's disk
+   contents survive the reboot; its memory, page cache and kernel state
+   start fresh; the other cells add it back to their live sets. *)
+let reintegrate (sys : Types.system) cell_id =
+  let c = sys.Types.cells.(cell_id) in
+  if c.Types.cstatus <> Types.Cell_down then
+    invalid_arg "reintegrate: cell is not down";
+  (* Repair the hardware: memory zeroed, processor restarted. *)
+  List.iter (Flash.Machine.restore_node sys.Types.machine) c.Types.cell_nodes;
+  (* Fresh kernel state; files (and their stable disk contents) survive,
+     but the page cache does not. *)
+  Hashtbl.reset c.Types.page_hash;
+  Hashtbl.reset c.Types.frames;
+  c.Types.free_frames <- [];
+  c.Types.reserved_loans <- [];
+  Hashtbl.iter
+    (fun _ (f : Types.file) -> Hashtbl.reset f.Types.cached_pages)
+    c.Types.files;
+  c.Types.kmem.Types.kmem_next <- c.Types.kmem.Types.kmem_base + 128;
+  c.Types.kmem.Types.kmem_free <- [];
+  c.Types.processes <- [];
+  c.Types.user_gate_open <- true;
+  c.Types.gate_waiters <- [];
+  Hashtbl.reset c.Types.pending_calls;
+  c.Types.suspected <- [];
+  c.Types.false_alerts <- [];
+  c.Types.in_recovery <- false;
+  c.Types.kernel_threads <- [];
+  c.Types.cstatus <- Types.Cell_up;
+  Types.sys_bump sys "cell.reintegrations";
+  (* The other cells learn about the reintegration. *)
+  Array.iter
+    (fun (o : Types.cell) ->
+      if Types.cell_alive o && not (List.mem cell_id o.Types.live_set) then
+        o.Types.live_set <- cell_id :: o.Types.live_set)
+    sys.Types.cells;
+  ignore
+    (Sim.Engine.spawn sys.Types.eng
+       ~name:(Printf.sprintf "cell%d.reboot" cell_id)
+       (fun () ->
+         Cell.boot sys c;
+         match sys.Types.wax_restart with Some f -> f sys | None -> ()))
+
+(* ---------- Running and measuring ---------- *)
+
+let now = Sim.Engine.now
+
+(* Advance the simulation until [pred] holds or [deadline] passes;
+   returns true if the predicate held. *)
+let run_until (sys : Types.system) ?(step = 1_000_000L) ~deadline pred =
+  let eng = sys.Types.eng in
+  let rec go () =
+    if pred () then true
+    else if Int64.compare (Sim.Engine.now eng) deadline >= 0 then pred ()
+    else begin
+      Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) step) eng;
+      go ()
+    end
+  in
+  go ()
+
+(* Wait for a set of processes to finish (exit, or die with their cell). *)
+let run_until_processes_done (sys : Types.system) ?step ~deadline procs =
+  run_until sys ?step ~deadline (fun () ->
+      List.for_all
+        (fun (p : Types.process) -> p.Types.pstate = Types.Proc_zombie)
+        procs)
+
+let live_cells (sys : Types.system) =
+  Array.to_list sys.Types.cells |> List.filter Types.cell_alive
+  |> List.map (fun c -> c.Types.cell_id)
+
+(* Detection latency of the last recovery round: time from [t_fault] until
+   the last live cell entered recovery (the Table 7.4 metric). *)
+let detection_latency_ns (sys : Types.system) ~t_fault =
+  match sys.Types.recovery_events with
+  | [] -> None
+  | evs ->
+    let latest = List.fold_left (fun acc (_, t) -> max acc t) 0L evs in
+    Some (Int64.sub latest t_fault)
+
+let counters (sys : Types.system) =
+  let all = Sim.Stats.to_list sys.Types.sys_counters in
+  let per_cell =
+    Array.to_list sys.Types.cells
+    |> List.map (fun (c : Types.cell) ->
+           (c.Types.cell_id, Sim.Stats.to_list c.Types.counters))
+  in
+  (all, per_cell)

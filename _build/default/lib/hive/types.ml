@@ -1,0 +1,275 @@
+(* Shared kernel state types.
+
+   Hive's subsystems (VM, FS, RPC, recovery, ...) operate on one mutually
+   recursive bundle of mutable state types, defined here once; each
+   subsystem module implements behavior over them. This mirrors a kernel's
+   shared header structure and avoids module cycles. *)
+
+type cell_id = int
+
+type pid = int
+
+(* UNIX-style error results surfaced to processes. *)
+type errno =
+  | EIO (* data lost: generation mismatch after preemptive discard *)
+  | ENOENT
+  | EBADF
+  | ESRCH
+  | EFAULT
+  | EAGAIN
+  | EHOSTDOWN (* cell owning the resource is down *)
+
+exception Syscall_error of errno
+
+let errno_to_string = function
+  | EIO -> "EIO"
+  | ENOENT -> "ENOENT"
+  | EBADF -> "EBADF"
+  | ESRCH -> "ESRCH"
+  | EFAULT -> "EFAULT"
+  | EAGAIN -> "EAGAIN"
+  | EHOSTDOWN -> "EHOSTDOWN"
+
+(* File identity: the data home cell plus an inode number local to it. *)
+type fid = { home : cell_id; ino : int }
+
+type generation = int
+
+(* Logical page identity: the object the page belongs to plus the page
+   offset within it (the IRIX "logical page id": tag + offset). *)
+type obj_tag =
+  | File_obj of fid
+  | Anon_obj of { cow_home : cell_id; node_id : int }
+
+type logical_id = { tag : obj_tag; page : int }
+
+(* Page frame data structure. Every cell has a pfdat for each frame it
+   owns; *extended pfdats* are allocated dynamically to name a remote
+   page (logical-level import) or a borrowed remote frame (physical-level
+   borrow). The logical-level and physical-level state machines use
+   separate fields so a frame can be simultaneously loaned and imported
+   back (the CC-NUMA placement optimization of Section 5.5). *)
+type pfdat = {
+  pfn : int;
+  table_cell : cell_id; (* whose pfdat table this entry lives in *)
+  mutable lid : logical_id option;
+  mutable dirty : bool;
+  mutable refs : int;
+  (* logical level *)
+  mutable exported_to : cell_id list; (* data-home side: client cells *)
+  mutable imported_from : cell_id option; (* client side: the data home *)
+  mutable write_granted_to : cell_id list; (* firewall grants outstanding *)
+  (* physical level *)
+  mutable loaned_to : cell_id option; (* memory-home side *)
+  mutable borrowed_from : cell_id option; (* data-home side *)
+  mutable extended : bool;
+}
+
+(* A file homed on some cell. [disk_block] is its start block on the data
+   home's disk; pages cached in memory live in the pfdat table. *)
+type file = {
+  fid : fid;
+  path : string;
+  mutable size : int;
+  mutable generation : generation;
+      (* bumped when a dirty page is preemptively discarded *)
+  mutable disk_block : int;
+  mutable cached_pages : (int, pfdat) Hashtbl.t; (* page index -> frame *)
+  mutable disk_content : Bytes.t; (* stable storage contents *)
+  mutable unlinked : bool;
+}
+
+type vnode =
+  | Local_vnode of file
+  | Shadow_vnode of { fid : fid; path : string; data_home : cell_id }
+
+let vnode_fid = function
+  | Local_vnode f -> f.fid
+  | Shadow_vnode s -> s.fid
+
+let vnode_path = function
+  | Local_vnode f -> f.path
+  | Shadow_vnode s -> s.path
+
+(* Open file description; [opened_gen] implements the generation-number
+   check: accesses through a descriptor opened before a discard get EIO. *)
+type fd = {
+  fd_num : int;
+  vnode : vnode;
+  mutable pos : int;
+  opened_gen : generation;
+  fd_writable : bool;
+}
+
+(* Reference to a copy-on-write tree node serialized in the kernel memory
+   of [cow_cell]. *)
+type cow_ref = { cow_cell : cell_id; cow_addr : int }
+
+type region_kind =
+  | File_region of vnode * int (* starting page within the file *)
+  | Anon_region of cow_ref
+
+type region = {
+  start_page : int; (* virtual page number *)
+  npages : int;
+  kind : region_kind;
+  reg_writable : bool;
+  mutable opened_gen : generation;
+}
+
+(* A virtual-to-physical mapping held by a process: enough to model TLB
+   flushes and remote-mapping removal during recovery. *)
+type mapping = {
+  map_lid : logical_id;
+  map_pf : pfdat;
+  map_writable : bool;
+}
+
+type proc_state = Proc_running | Proc_suspended | Proc_zombie
+
+type process = {
+  pid : pid;
+  mutable proc_cell : cell_id;
+  mutable assigned_node : int; (* the node whose CPU runs this process *)
+  mutable pname : string;
+  mutable thread : Sim.Engine.thread option;
+  mutable regions : region list;
+  mutable mappings : (int, mapping) Hashtbl.t; (* virtual page -> mapping *)
+  mutable fds : (int, fd) Hashtbl.t;
+  mutable next_fd : int;
+  mutable pstate : proc_state;
+  mutable exit_code : int option;
+  mutable killed_by_failure : bool;
+  exit_ivar : int Sim.Ivar.t;
+  mutable children : process list;
+  mutable uses_cells : cell_id list; (* cells whose resources it depends on *)
+}
+
+(* Universal payload for RPC arguments/results; each subsystem extends it. *)
+type payload = ..
+
+type payload += P_unit | P_int of int | P_error of errno
+
+type rpc_outcome = (payload, errno) result
+
+(* What an interrupt-level handler decides to do with a request. *)
+type handler_action =
+  | Immediate of rpc_outcome (* serviced entirely at interrupt level *)
+  | Queued of (unit -> rpc_outcome) (* must block: run in a server process *)
+
+type cell_status = Cell_up | Cell_recovering | Cell_down
+
+(* Kernel heap for structures published to other cells (serialized into
+   simulated physical memory so careful references and corruptions are
+   genuine). *)
+type kmem = {
+  kmem_base : int; (* physical byte address *)
+  kmem_limit : int;
+  mutable kmem_next : int;
+  mutable kmem_free : (int * int) list; (* (addr, size) free blocks *)
+}
+
+type pending_call = {
+  call_id : int;
+  mutable reply : rpc_outcome option;
+  call_done : rpc_outcome Sim.Ivar.t;
+}
+
+type cell = {
+  cell_id : cell_id;
+  cell_nodes : int list; (* node ids owned throughout execution *)
+  boss_node : int; (* first node: hosts published kernel data *)
+  mutable cstatus : cell_status;
+  mutable live_set : cell_id list; (* cells this cell believes are up *)
+  (* pfdat tables *)
+  page_hash : (logical_id, pfdat) Hashtbl.t;
+  frames : (int, pfdat) Hashtbl.t; (* by pfn: own + borrowed frames *)
+  mutable free_frames : int list;
+  mutable reserved_loans : int list; (* own frames currently loaned out *)
+  (* fs *)
+  files : (string, file) Hashtbl.t; (* files homed on this cell, by path *)
+  files_by_ino : (int, file) Hashtbl.t;
+  mutable next_ino : int;
+  mutable next_disk_block : int;
+  (* kernel heap in simulated memory *)
+  kmem : kmem;
+  clock_addr : int; (* published clock word *)
+  (* processes *)
+  mutable processes : process list;
+  mutable user_gate_open : bool;
+  mutable gate_waiters : Sim.Engine.thread list;
+  (* rpc *)
+  mutable next_call_id : int;
+  pending_calls : (int, pending_call) Hashtbl.t;
+  rpc_queue : (unit -> unit) Sim.Mailbox.t; (* queued-service requests *)
+  release_queue : pfdat Sim.Mailbox.t;
+      (* imports released by exiting processes, drained by a kernel thread *)
+  swap_table : (logical_id, Bytes.t) Hashtbl.t;
+      (* anonymous pages swapped out to this cell's swap partition *)
+  mutable swap_blocks_used : int;
+  (* failure detection / recovery *)
+  mutable suspected : cell_id list;
+  mutable alert_votes : (cell_id * cell_id) list; (* accuser, suspect *)
+  mutable false_alerts : (cell_id * int) list; (* accuser -> vote-downs *)
+  mutable in_recovery : bool;
+  mutable recovery_barrier_joined : int * int; (* diagnostics *)
+  (* wax hints *)
+  mutable alloc_preference : cell_id list;
+  mutable clock_hand_targets : cell_id list; (* cells under memory pressure *)
+  mutable rr_cpu : int; (* round-robin CPU assignment cursor *)
+  mutable wax_slot : int; (* published word Wax reads/writes *)
+  (* threads owned by this kernel, killed on panic *)
+  mutable kernel_threads : Sim.Engine.thread list;
+  counters : Sim.Stats.registry;
+  fault_in_cache_ns : Sim.Stats.summary;
+  remote_fault_ns : Sim.Stats.summary;
+}
+
+(* The whole Hive system: machine + cells + global configuration. *)
+type system = {
+  machine : Flash.Machine.t;
+  eng : Sim.Engine.t;
+  mcfg : Flash.Config.t;
+  params : Params.t;
+  cells : cell array;
+  proc_table : (pid, process) Hashtbl.t;
+  mutable next_pid : int;
+  mutable use_agreement_oracle : bool;
+  multicellular : bool; (* false = SMP-OS (IRIX-like) baseline mode *)
+  mutable recovery_in_progress : bool;
+  mutable recovery_events : (cell_id * int64) list;
+      (* (cell, time it entered recovery) for detection-latency measurement *)
+  mutable recovery_complete_at : int64;
+  mutable recovery_barrier1 : Sim.Barrier.t option;
+  mutable recovery_barrier2 : Sim.Barrier.t option;
+  mutable wax_restart : (system -> unit) option;
+  mutable wax_threads : Sim.Engine.thread list;
+  mutable wax_incarnation : int;
+  mutable on_hint : (cell -> suspect:cell_id -> reason:string -> unit) option;
+      (* installed by the failure-detection module at boot *)
+  sys_counters : Sim.Stats.registry;
+  mutable trace_faults : bool;
+}
+
+let cell_of_node (sys : system) node =
+  let found = ref None in
+  Array.iter
+    (fun c -> if List.mem node c.cell_nodes then found := Some c)
+    sys.cells;
+  match !found with
+  | Some c -> c
+  | None -> invalid_arg "cell_of_node: node not owned by any cell"
+
+let cell sys id = sys.cells.(id)
+
+let boss_proc (c : cell) = c.boss_node
+
+let cell_alive (c : cell) = c.cstatus = Cell_up
+
+let page_size (sys : system) = sys.mcfg.Flash.Config.page_size
+
+(* Pages per file page unit: files are paged in units of the machine page. *)
+let bump ?(by = 1) (c : cell) name = Sim.Stats.bump ~by c.counters name
+
+let sys_bump ?(by = 1) (sys : system) name =
+  Sim.Stats.bump ~by sys.sys_counters name

@@ -1,0 +1,473 @@
+(* Virtual memory: address-space regions, page faults, logical-level
+   sharing of file and anonymous pages, and the VM side of recovery
+   (Table 5.1, Sections 5.2-5.6).
+
+   There is no instruction-level execution in the simulation, so "the
+   hardware" faults when a workload touches a virtual page with no entry in
+   the process's mapping table; the fault path then follows the paper:
+   check the local pfdat hash, and on a miss either service locally or send
+   a locate RPC to the data home, which exports the page for the client to
+   import. *)
+
+type Types.payload +=
+  | P_anon_locate of { node_id : int; page : int; writable : bool }
+  | P_anon_page of { pfn : int }
+
+let anon_locate_op = "vm.anon_locate"
+
+let page_size (sys : Types.system) = sys.Types.mcfg.Flash.Config.page_size
+
+let mem (sys : Types.system) = Flash.Machine.memory sys.Types.machine
+
+let frame_addr (sys : Types.system) pfn =
+  Flash.Addr.addr_of_pfn sys.Types.mcfg pfn
+
+let cell_of (sys : Types.system) (p : Types.process) =
+  sys.Types.cells.(p.Types.proc_cell)
+
+let note_dependency (p : Types.process) cell_id =
+  if
+    cell_id <> p.Types.proc_cell
+    && not (List.mem cell_id p.Types.uses_cells)
+  then p.Types.uses_cells <- cell_id :: p.Types.uses_cells
+
+(* ---------- Region setup ---------- *)
+
+let next_start (p : Types.process) =
+  List.fold_left
+    (fun acc (r : Types.region) -> max acc (r.Types.start_page + r.Types.npages))
+    16 p.Types.regions
+
+let map_file (sys : Types.system) (p : Types.process) vnode ~opened_gen
+    ~writable ~npages =
+  let r =
+    {
+      Types.start_page = next_start p;
+      npages;
+      kind = Types.File_region (vnode, 0);
+      reg_writable = writable;
+      opened_gen;
+    }
+  in
+  ignore sys;
+  p.Types.regions <- r :: p.Types.regions;
+  let fid = Types.vnode_fid vnode in
+  note_dependency p fid.Types.home;
+  r
+
+let map_anon (sys : Types.system) (p : Types.process) (leaf : Types.cow_ref)
+    ~npages =
+  let r =
+    {
+      Types.start_page = next_start p;
+      npages;
+      kind = Types.Anon_region { cow_cell = leaf.Types.cow_cell;
+                                 cow_addr = leaf.Types.cow_addr };
+      reg_writable = true;
+      opened_gen = 0;
+    }
+  in
+  ignore sys;
+  p.Types.regions <- r :: p.Types.regions;
+  r
+
+let region_of (p : Types.process) vpage =
+  List.find_opt
+    (fun (r : Types.region) ->
+      vpage >= r.Types.start_page && vpage < r.Types.start_page + r.Types.npages)
+    p.Types.regions
+
+(* ---------- Anonymous page service ---------- *)
+
+(* Materialize a fresh anonymous page recorded at the process's leaf. *)
+let anon_create (sys : Types.system) (c : Types.cell) (leaf : Types.cow_ref)
+    ~page =
+  let pf = Page_alloc.alloc_frame sys c in
+  Cow.record_write sys c leaf ~page;
+  let node_id = Cow.node_id sys { leaf with Types.cow_cell = leaf.Types.cow_cell } in
+  let lid =
+    {
+      Types.tag = Types.Anon_obj { cow_home = c.Types.cell_id; node_id };
+      page;
+    }
+  in
+  Pfdat.insert c lid pf;
+  pf
+
+(* Get the frame for an anon page recorded at node [r] (local or remote). *)
+let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
+    ~writable =
+  if r.Types.cow_cell = c.Types.cell_id then begin
+    let node_id = Cow.node_id sys r in
+    let lid =
+      { Types.tag = Types.Anon_obj { cow_home = c.Types.cell_id; node_id };
+        page }
+    in
+    match Pfdat.lookup c lid with
+    | Some pf -> Ok pf
+    | None -> (
+      (* Not in memory: it may have been swapped out. *)
+      match Swap.swap_in sys c lid with
+      | Some pf -> Ok pf
+      | None -> Error Types.EFAULT (* recorded but discarded *))
+  end
+  else begin
+    (* The cell owning the recording node is the data home for the page:
+       RPC to set up the export/import binding. *)
+    let owner = r.Types.cow_cell in
+    let node_id =
+      (* Read the node id carefully; a defended failure means the owner is
+         corrupt or gone. *)
+      match
+        Careful_ref.protect sys c ~target:owner (fun ctx ->
+            Careful_ref.check_tag ctx ~addr:r.Types.cow_addr
+              ~expected:Cow.cow_tag;
+            Int64.to_int
+              (Careful_ref.read_field ctx ~addr:r.Types.cow_addr ~index:0))
+      with
+      | Ok id -> Some id
+      | Error _ -> None
+    in
+    match node_id with
+    | None -> Error Types.EFAULT
+    | Some node_id -> (
+      match
+        Rpc.call sys ~from:c ~target:owner ~op:anon_locate_op ~arg_bytes:32
+          (P_anon_locate { node_id; page; writable })
+      with
+      | Ok (P_anon_page { pfn }) ->
+        let lid =
+          { Types.tag = Types.Anon_obj { cow_home = owner; node_id }; page }
+        in
+        Ok (Share.import sys c ~pfn ~data_home:owner ~lid ~writable)
+      | Ok _ -> Error Types.EFAULT
+      | Error e -> Error e)
+  end
+
+(* ---------- The page fault path ---------- *)
+
+let add_mapping (p : Types.process) ~vpage ~lid (pf : Types.pfdat) ~writable =
+  (match Hashtbl.find_opt p.Types.mappings vpage with
+  | Some old -> old.Types.map_pf.Types.refs <- max 0 (old.Types.map_pf.Types.refs - 1)
+  | None -> ());
+  pf.Types.refs <- pf.Types.refs + 1;
+  Hashtbl.replace p.Types.mappings vpage
+    { Types.map_lid = lid; map_pf = pf; map_writable = writable }
+
+let fault (sys : Types.system) (p : Types.process) ~vpage ~write =
+  let c = cell_of sys p in
+  Gate.pass c;
+  Types.bump c "vm.faults";
+  let par = sys.Types.params in
+  match region_of p vpage with
+  | None -> Error Types.EFAULT
+  | Some r when write && not r.Types.reg_writable -> Error Types.EFAULT
+  | Some r -> (
+    let t0 = Sim.Engine.time () in
+    let finish lid pf ~remote =
+      add_mapping p ~vpage ~lid pf ~writable:write;
+      if write then pf.Types.dirty <- true;
+      note_dependency p
+        (Flash.Addr.node_of_pfn sys.Types.mcfg pf.Types.pfn
+        |> fun node -> (Types.cell_of_node sys node).Types.cell_id);
+      (match pf.Types.imported_from with
+      | Some home -> note_dependency p home
+      | None -> ());
+      let dt = Int64.sub (Sim.Engine.time ()) t0 in
+      if remote then Sim.Stats.add_ns c.Types.remote_fault_ns dt
+      else Sim.Stats.add_ns c.Types.fault_in_cache_ns dt;
+      Ok ()
+    in
+    match r.Types.kind with
+    | Types.File_region (vnode, base) -> (
+      let page = base + (vpage - r.Types.start_page) in
+      let fid = Types.vnode_fid vnode in
+      let lid = { Types.tag = Types.File_obj fid; page } in
+      let is_remote_miss =
+        (match vnode with
+        | Types.Local_vnode _ -> false
+        | Types.Shadow_vnode _ -> true)
+        && Pfdat.lookup c lid = None
+      in
+      (* Client-side locking and VM path costs beyond the FS work
+         (Table 5.2). *)
+      if is_remote_miss then begin
+        Sim.Engine.delay par.Params.fault_client_lock_ns;
+        Sim.Engine.delay par.Params.fault_client_vm_ns
+      end;
+      match
+        Fs.get_page sys c vnode ~page ~writable:write
+          ~opened_gen:r.Types.opened_gen ~usage:`Fault
+      with
+      | Ok pf -> finish lid pf ~remote:is_remote_miss
+      | Error e -> Error e)
+    | Types.Anon_region cref -> (
+      let page = vpage - r.Types.start_page in
+      (* Search up the copy-on-write tree from the process leaf. *)
+      match Cow.lookup sys c cref ~page with
+      | Cow.Defended reason ->
+        Types.bump c "vm.cow_defended";
+        (match sys.Types.on_hint with
+        | Some f ->
+          f c ~suspect:cref.Types.cow_cell
+            ~reason:(Careful_ref.reason_to_string reason)
+        | None -> ());
+        Error Types.EFAULT
+      | Cow.Not_present ->
+        (* First touch: allocate at our leaf (zero-filled). *)
+        Sim.Engine.delay par.Params.fault_local_hit_ns;
+        let pf = anon_create sys c cref ~page in
+        let node_id = Cow.node_id sys cref in
+        let lid =
+          { Types.tag = Types.Anon_obj { cow_home = c.Types.cell_id; node_id };
+            page }
+        in
+        finish lid pf ~remote:false
+      | Cow.Found owner_ref ->
+        let owner_local = owner_ref.Types.cow_cell = c.Types.cell_id in
+        if write && not (owner_local && owner_ref = cref) then begin
+          (* Copy-on-write break: copy the ancestor's page into a fresh
+             local frame recorded at our own leaf. *)
+          Sim.Engine.delay par.Params.fault_local_hit_ns;
+          match anon_get sys c owner_ref ~page ~writable:false with
+          | Error e -> Error e
+          | Ok src_pf ->
+            let psize = page_size sys in
+            let data =
+              Flash.Memory.read sys.Types.eng (mem sys)
+                ~by:(Types.boss_proc c)
+                (frame_addr sys src_pf.Types.pfn)
+                psize
+            in
+            let dst = anon_create sys c cref ~page in
+            Flash.Memory.write sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
+              (frame_addr sys dst.Types.pfn)
+              data;
+            (* Drop our import binding to the source page if we made one
+               (a local source may live in a borrowed frame, which stays). *)
+            (if src_pf.Types.imported_from <> None then
+               Share.release sys c src_pf);
+            let node_id = Cow.node_id sys cref in
+            let lid =
+              { Types.tag =
+                  Types.Anon_obj { cow_home = c.Types.cell_id; node_id };
+                page }
+            in
+            finish lid dst ~remote:false
+        end
+        else begin
+          (if owner_local then Sim.Engine.delay par.Params.fault_local_hit_ns
+           else begin
+             Sim.Engine.delay par.Params.fault_client_lock_ns;
+             Sim.Engine.delay par.Params.fault_client_vm_ns
+           end);
+          match anon_get sys c owner_ref ~page ~writable:write with
+          | Error e -> Error e
+          | Ok pf ->
+            let node_id =
+              match pf.Types.lid with
+              | Some l -> (
+                match l.Types.tag with
+                | Types.Anon_obj a -> a.node_id
+                | _ -> 0)
+              | None -> 0
+            in
+            let lid =
+              { Types.tag =
+                  Types.Anon_obj
+                    { cow_home = owner_ref.Types.cow_cell; node_id };
+                page }
+            in
+            finish lid pf ~remote:(not owner_local)
+        end))
+
+(* Touch a virtual page: fast no-op when mapped, fault otherwise. *)
+let touch (sys : Types.system) (p : Types.process) ~vpage ~write =
+  match Hashtbl.find_opt p.Types.mappings vpage with
+  | Some m when (not write) || m.Types.map_writable ->
+    Sim.Engine.delay sys.Types.mcfg.Flash.Config.l2_hit_ns;
+    Ok ()
+  | _ -> fault sys p ~vpage ~write
+
+(* Read/write actual memory words through a virtual page, exercising the
+   hardware firewall on the real frame. *)
+let rec write_word (sys : Types.system) (p : Types.process) ~vpage ~offset v =
+  match touch sys p ~vpage ~write:true with
+  | Error e -> Error e
+  | Ok () -> (
+    let m = Hashtbl.find p.Types.mappings vpage in
+    let addr = frame_addr sys m.Types.map_pf.Types.pfn + offset in
+    let c = cell_of sys p in
+    match Flash.Memory.write_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr v with
+    | () -> Ok ()
+    | exception Flash.Memory.Bus_error { cause = Flash.Memory.Firewall_denied; _ } ->
+      (* Permission revoked since mapping (e.g. post-recovery): refault. *)
+      Hashtbl.remove p.Types.mappings vpage;
+      write_word sys p ~vpage ~offset v
+    | exception Flash.Memory.Bus_error _ -> Error Types.EFAULT)
+
+let read_word (sys : Types.system) (p : Types.process) ~vpage ~offset =
+  match touch sys p ~vpage ~write:false with
+  | Error e -> Error e
+  | Ok () -> (
+    let m = Hashtbl.find p.Types.mappings vpage in
+    let addr = frame_addr sys m.Types.map_pf.Types.pfn + offset in
+    let c = cell_of sys p in
+    match Flash.Memory.read_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr with
+    | v -> Ok v
+    | exception Flash.Memory.Bus_error _ -> Error Types.EFAULT)
+
+(* ---------- Teardown and recovery support ---------- *)
+
+let unmap_all (sys : Types.system) (p : Types.process) =
+  let c = cell_of sys p in
+  Hashtbl.iter
+    (fun _ (m : Types.mapping) ->
+      m.Types.map_pf.Types.refs <- max 0 (m.Types.map_pf.Types.refs - 1))
+    p.Types.mappings;
+  Hashtbl.reset p.Types.mappings;
+  (* Release idle imported pages eagerly on exit. Teardown may run outside
+     a thread context, so hand the releases (which RPC the data home) to
+     the cell's reaper thread. *)
+  Pfdat.iter_pages c (fun pf ->
+      if
+        pf.Types.extended
+        && pf.Types.imported_from <> None
+        && pf.Types.refs = 0
+      then Sim.Mailbox.send sys.Types.eng c.Types.release_queue pf)
+
+(* TLB flush + removal of all remote mappings and import bindings: the
+   pre-barrier-1 step of recovery. A future access to any remote page will
+   fault and send an RPC to the page's owner, where it can be checked. *)
+let flush_remote_bindings (sys : Types.system) (c : Types.cell) =
+  List.iter
+    (fun (p : Types.process) ->
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun vpage (m : Types.mapping) ->
+          let node = Flash.Addr.node_of_pfn sys.Types.mcfg m.Types.map_pf.Types.pfn in
+          let remote_frame = not (List.mem node c.Types.cell_nodes) in
+          if remote_frame || m.Types.map_pf.Types.imported_from <> None then
+            doomed := vpage :: !doomed)
+        p.Types.mappings;
+      List.iter
+        (fun vpage ->
+          (match Hashtbl.find_opt p.Types.mappings vpage with
+          | Some m ->
+            m.Types.map_pf.Types.refs <- max 0 (m.Types.map_pf.Types.refs - 1)
+          | None -> ());
+          Hashtbl.remove p.Types.mappings vpage)
+        !doomed)
+    c.Types.processes;
+  (* Drop every import binding; re-faults go back through the data home. *)
+  let imports = ref [] in
+  Pfdat.iter_pages c (fun pf ->
+      if pf.Types.extended && pf.Types.imported_from <> None then
+        imports := pf :: !imports);
+  List.iter (fun pf -> Share.drop_import c pf) !imports
+
+(* Post-barrier-1 VM cleanup: revoke grants to dead cells, preemptively
+   discard every local page writable by a failed cell, clear export
+   records, reclaim loaned frames. Returns the number of discarded pages. *)
+let preemptive_discard (sys : Types.system) (c : Types.cell) ~dead =
+  let p = sys.Types.params in
+  let fwall = Flash.Machine.firewall sys.Types.machine in
+  let discarded = ref 0 in
+  (* Find local frames writable by any dead cell's processors. *)
+  let dead_procs =
+    List.concat_map (fun d -> sys.Types.cells.(d).Types.cell_nodes) dead
+  in
+  let victim_pfns =
+    List.concat_map (fun proc -> Flash.Firewall.writable_by fwall ~proc) dead_procs
+    |> List.sort_uniq compare
+    |> List.filter (fun pfn ->
+           List.mem (Flash.Addr.node_of_pfn sys.Types.mcfg pfn) c.Types.cell_nodes)
+  in
+  List.iter
+    (fun pfn ->
+      Sim.Engine.delay p.Params.recovery_scan_page_ns;
+      (* Revoke all remote permission on this page. *)
+      let node = Flash.Addr.node_of_pfn sys.Types.mcfg pfn in
+      Flash.Firewall.revoke_all_remote fwall ~by:node ~pfn;
+      match Hashtbl.find_opt c.Types.frames pfn with
+      | None -> ()
+      | Some pf ->
+        incr discarded;
+        Types.bump c "vm.discarded_pages";
+        (* Notify the file system if a dirty file page is being lost. *)
+        (match pf.Types.lid with
+        | Some { Types.tag = Types.File_obj fid; page } -> (
+          match Hashtbl.find_opt c.Types.files_by_ino fid.Types.ino with
+          | Some f -> Fs.note_discard sys c f ~page ~dirty:pf.Types.dirty
+          | None -> ())
+        | _ -> ());
+        pf.Types.exported_to <- [];
+        pf.Types.write_granted_to <- [];
+        Page_alloc.free_frame sys c pf)
+    victim_pfns;
+  (* Clear export records (clients dropped their imports pre-barrier). *)
+  Pfdat.iter_pages c (fun pf ->
+      pf.Types.exported_to <- [];
+      List.iter
+        (fun client ->
+          if List.mem client dead then
+            Wild_write.revoke_client sys c pf ~client)
+        pf.Types.write_granted_to);
+  (* Reclaim frames loaned to dead cells. *)
+  let reclaimed =
+    List.filter
+      (fun pfn ->
+        match Hashtbl.find_opt c.Types.frames pfn with
+        | Some pf -> (
+          match pf.Types.loaned_to with
+          | Some borrower when List.mem borrower dead ->
+            pf.Types.loaned_to <- None;
+            Pfdat.remove c pf;
+            true
+          | _ -> false)
+        | None -> false)
+      c.Types.reserved_loans
+  in
+  List.iter
+    (fun pfn ->
+      c.Types.reserved_loans <-
+        List.filter (fun q -> q <> pfn) c.Types.reserved_loans;
+      c.Types.free_frames <- pfn :: c.Types.free_frames)
+    reclaimed;
+  (* Drop borrowed frames whose memory home died. *)
+  let dead_borrows = ref [] in
+  Hashtbl.iter
+    (fun _ pf ->
+      match pf.Types.borrowed_from with
+      | Some home when List.mem home dead -> dead_borrows := pf :: !dead_borrows
+      | _ -> ())
+    c.Types.frames;
+  List.iter
+    (fun pf ->
+      c.Types.free_frames <-
+        List.filter (fun q -> q <> pf.Types.pfn) c.Types.free_frames;
+      Pfdat.free_extended c pf)
+    !dead_borrows;
+  !discarded
+
+let registered = ref false
+
+let register_handlers () =
+  if not !registered then begin
+    registered := true;
+    Rpc.register anon_locate_op (fun sys cell ~src arg ->
+        match arg with
+        | P_anon_locate { node_id; page; writable } -> (
+          let lid =
+            { Types.tag =
+                Types.Anon_obj { cow_home = cell.Types.cell_id; node_id };
+              page }
+          in
+          match Pfdat.lookup cell lid with
+          | Some pf ->
+            Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
+            Share.export sys cell pf ~client:src ~writable;
+            Types.Immediate (Ok (P_anon_page { pfn = pf.Types.pfn }))
+          | None -> Types.Immediate (Error Types.ENOENT))
+        | _ -> Types.Immediate (Error Types.EFAULT))
+  end

@@ -1,0 +1,126 @@
+(* Wax: intercell resource-management policy in a user-level process
+   (Section 3.2, Table 3.4).
+
+   Wax is a multithreaded user-level spanning process with a thread on
+   every cell. It builds a global view of system state through shared
+   memory (each cell's thread publishes local statistics into a shared
+   word; the coordinator thread reads them all with ordinary loads — no
+   careful protocol, because Wax is allowed to die on any cell failure),
+   and feeds policy hints back to the kernels: which cells to allocate
+   memory from, which cells the VM clock hand should target, etc.
+
+   Each kernel sanity-checks the hints it receives, so a corrupt Wax can
+   hurt performance but not correctness. Because Wax uses resources from
+   all cells, it exits whenever any cell fails; recovery forks a fresh
+   incarnation that rebuilds its view from scratch. *)
+
+let mem (sys : Types.system) = Flash.Machine.memory sys.Types.machine
+
+(* Kernel-side sanity check before accepting an allocation-preference
+   hint: every id must be a live, distinct cell. *)
+let sanity_check_hint (c : Types.cell) hint =
+  let ok =
+    List.for_all (fun id -> List.mem id c.Types.live_set) hint
+    && List.length (List.sort_uniq compare hint) = List.length hint
+  in
+  if ok then begin
+    c.Types.alloc_preference <- List.filter (fun id -> id <> c.Types.cell_id) hint;
+    true
+  end
+  else begin
+    Types.bump c "wax.rejected_hints";
+    false
+  end
+
+let publish_local_state (sys : Types.system) (c : Types.cell) =
+  (* Free-frame count, written into the shared slot with a plain store. *)
+  Flash.Memory.write_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
+    c.Types.wax_slot
+    (Int64.of_int (Page_alloc.free_count c))
+
+exception Wax_dies
+
+(* The coordinator thread's policy pass: read every cell's published
+   state (plain loads — a bus error kills Wax) and push hints. *)
+let policy_pass (sys : Types.system) (home : Types.cell) =
+  let states =
+    List.map
+      (fun id ->
+        let c = sys.Types.cells.(id) in
+        let v =
+          try
+            Flash.Memory.read_i64 sys.Types.eng (mem sys)
+              ~by:(Types.boss_proc home) c.Types.wax_slot
+          with Flash.Memory.Bus_error _ -> raise Wax_dies
+        in
+        (id, Int64.to_int v))
+      home.Types.live_set
+  in
+  (* Page-allocator hint: prefer cells with the most free memory. *)
+  let pref =
+    List.sort (fun (_, a) (_, b) -> compare b a) states |> List.map fst
+  in
+  (* Clock-hand hint: cells under pressure (fewest free frames). *)
+  let pressured =
+    List.filter (fun (_, free) -> free < 32) states |> List.map fst
+  in
+  List.iter
+    (fun id ->
+      let c = sys.Types.cells.(id) in
+      if Types.cell_alive c then begin
+        ignore (sanity_check_hint c pref);
+        c.Types.clock_hand_targets <- pressured;
+        (* Swapper policy: cells under memory pressure push idle
+           anonymous pages to their swap partition. *)
+        if List.mem id pressured then
+          ignore (Swap.swap_out_idle sys c ~want:16)
+      end)
+    home.Types.live_set
+
+let stop (sys : Types.system) =
+  let ts = sys.Types.wax_threads in
+  sys.Types.wax_threads <- [];
+  List.iter (fun t -> Sim.Engine.kill sys.Types.eng t) ts
+
+(* Fork a Wax incarnation with a thread on every live cell. *)
+let start (sys : Types.system) =
+  sys.Types.wax_incarnation <- sys.Types.wax_incarnation + 1;
+  let inc = sys.Types.wax_incarnation in
+  Types.sys_bump sys "wax.incarnations";
+  let live =
+    Array.to_list sys.Types.cells |> List.filter Types.cell_alive
+  in
+  let coordinator =
+    match live with c :: _ -> c.Types.cell_id | [] -> -1
+  in
+  List.iter
+    (fun (c : Types.cell) ->
+      let thr =
+        Sim.Engine.spawn sys.Types.eng
+          ~name:(Printf.sprintf "wax%d.cell%d" inc c.Types.cell_id)
+          (fun () ->
+            let p = sys.Types.params in
+            try
+              while Types.cell_alive c do
+                Sim.Engine.delay p.Params.wax_period_ns;
+                Gate.pass c;
+                Sim.Engine.delay p.Params.wax_scan_cost_ns;
+                publish_local_state sys c;
+                if c.Types.cell_id = coordinator then policy_pass sys c
+              done
+            with
+            | Wax_dies | Flash.Memory.Bus_error _ ->
+              (* Some cell we depend on failed: the whole process exits;
+                 recovery will fork a fresh incarnation. *)
+              Types.sys_bump sys "wax.deaths")
+      in
+      sys.Types.wax_threads <- thr :: sys.Types.wax_threads)
+    live
+
+let restart (sys : Types.system) =
+  stop sys;
+  start sys
+
+let install (sys : Types.system) =
+  sys.Types.wax_restart <- Some restart;
+  start sys

@@ -1,0 +1,25 @@
+(** Wax: intercell resource-management policy in a user-level process
+   (Section 3.2, Table 3.4).
+
+   Wax is a multithreaded user-level spanning process with a thread on
+   every cell. It builds a global view of system state through shared
+   memory (each cell's thread publishes local statistics into a shared
+   word; the coordinator thread reads them all with ordinary loads — no
+   careful protocol, because Wax is allowed to die on any cell failure),
+   and feeds policy hints back to the kernels: which cells to allocate
+   memory from, which cells the VM clock hand should target, etc.
+
+   Each kernel sanity-checks the hints it receives, so a corrupt Wax can
+   hurt performance but not correctness. Because Wax uses resources from
+   all cells, it exits whenever any cell fails; recovery forks a fresh
+   incarnation that rebuilds its view from scratch. *)
+
+val mem : Types.system -> Flash.Memory.t
+val sanity_check_hint : Types.cell -> Types.cell_id list -> bool
+val publish_local_state : Types.system -> Types.cell -> unit
+exception Wax_dies
+val policy_pass : Types.system -> Types.cell -> unit
+val stop : Types.system -> unit
+val start : Types.system -> unit
+val restart : Types.system -> unit
+val install : Types.system -> unit

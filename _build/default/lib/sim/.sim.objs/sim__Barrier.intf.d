@@ -1,0 +1,1 @@
+lib/sim/barrier.mli: Engine

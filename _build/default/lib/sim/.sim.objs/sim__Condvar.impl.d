@@ -1,0 +1,1 @@
+lib/sim/condvar.ml: Engine List Mutex

@@ -1,0 +1,1 @@
+lib/sim/condvar.mli: Engine Mutex

@@ -1,0 +1,1 @@
+lib/sim/mutex.ml: Engine Fun

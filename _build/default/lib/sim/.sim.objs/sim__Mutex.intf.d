@@ -1,0 +1,1 @@
+lib/sim/mutex.mli: Engine

@@ -1,0 +1,1 @@
+lib/sim/semaphore.mli: Engine

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Engine Format Int64

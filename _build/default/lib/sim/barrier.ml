@@ -1,0 +1,33 @@
+type t = {
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+  mutable waiters : Engine.thread list;
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create";
+  { parties; arrived = 0; generation = 0; waiters = [] }
+
+let parties b = b.parties
+
+let arrived b = b.arrived
+
+let await eng b =
+  b.arrived <- b.arrived + 1;
+  if b.arrived >= b.parties then begin
+    b.arrived <- 0;
+    b.generation <- b.generation + 1;
+    let ws = b.waiters in
+    b.waiters <- [];
+    List.iter (fun w -> ignore (Engine.try_resume eng w)) ws
+  end
+  else begin
+    let gen = b.generation in
+    Engine.suspend (fun thr -> b.waiters <- b.waiters @ [ thr ]);
+    (* A killed waiter can be resumed spuriously; re-block until the
+       generation actually advances. *)
+    while b.generation = gen do
+      Engine.suspend (fun thr -> b.waiters <- b.waiters @ [ thr ])
+    done
+  end

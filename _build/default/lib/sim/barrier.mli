@@ -1,0 +1,15 @@
+(** Cyclic synchronization barrier: the last of [parties] arrivals releases
+    everyone. Used by parallel workloads and by Hive's double-global-barrier
+    recovery protocol. *)
+
+type t
+
+val create : int -> t
+
+val parties : t -> int
+
+(** Threads currently waiting in the present generation. *)
+val arrived : t -> int
+
+(** Block until [parties] threads have called [await]. *)
+val await : Engine.t -> t -> unit

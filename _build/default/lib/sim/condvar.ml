@@ -1,0 +1,23 @@
+type t = { mutable waiters : Engine.thread list }
+
+let create () = { waiters = [] }
+
+let wait eng cv m =
+  Mutex.unlock eng m;
+  Engine.suspend (fun thr -> cv.waiters <- cv.waiters @ [ thr ]);
+  Mutex.lock eng m
+
+let signal eng cv =
+  let rec wake () =
+    match cv.waiters with
+    | [] -> ()
+    | w :: rest ->
+      cv.waiters <- rest;
+      if not (Engine.try_resume eng w) then wake ()
+  in
+  wake ()
+
+let broadcast eng cv =
+  let ws = cv.waiters in
+  cv.waiters <- [];
+  List.iter (fun w -> ignore (Engine.try_resume eng w)) ws

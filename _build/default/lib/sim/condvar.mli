@@ -1,0 +1,13 @@
+(** Condition variable for use with {!Mutex} (FIFO wakeup). *)
+
+type t
+
+val create : unit -> t
+
+(** [wait eng cv m] atomically releases [m], blocks until signaled, then
+    reacquires [m]. *)
+val wait : Engine.t -> t -> Mutex.t -> unit
+
+val signal : Engine.t -> t -> unit
+
+val broadcast : Engine.t -> t -> unit

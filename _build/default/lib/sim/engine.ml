@@ -1,0 +1,222 @@
+exception Killed
+
+exception Deadlock of string
+
+type event = { mutable cancelled : bool; act : unit -> unit }
+
+type timer = event
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable dead : bool;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable timers : event list;
+  mutable on_exit : (unit -> unit) list;
+}
+
+type t = {
+  mutable now : int64;
+  events : event Heap.t;
+  mutable seq : int;
+  mutable next_tid : int;
+  mutable current : thread option;
+  mutable live : int;
+  mutable crash_handler : thread -> exn -> unit;
+}
+
+type _ Effect.t +=
+  | E_now : int64 Effect.t
+  | E_self : thread Effect.t
+  | E_delay : int64 -> unit Effect.t
+  | E_suspend : (thread -> unit) -> unit Effect.t
+
+let create () =
+  let eng =
+    { now = 0L;
+      events = Heap.create ();
+      seq = 0;
+      next_tid = 0;
+      current = None;
+      live = 0;
+      crash_handler = (fun _ _ -> ()) }
+  in
+  eng.crash_handler <-
+    (fun thr e ->
+      let bt = Printexc.get_backtrace () in
+      let msg =
+        Printf.sprintf "sim thread %S (tid %d) raised %s\n%s" thr.name thr.tid
+          (Printexc.to_string e) bt
+      in
+      raise (Failure msg));
+  eng
+
+let now eng = eng.now
+
+let set_crash_handler eng f = eng.crash_handler <- f
+
+let schedule_at eng time act =
+  let time = if Int64.compare time eng.now < 0 then eng.now else time in
+  eng.seq <- eng.seq + 1;
+  let e = { cancelled = false; act } in
+  Heap.push eng.events ~time ~seq:eng.seq e;
+  e
+
+let schedule eng ~after act =
+  ignore (schedule_at eng (Int64.add eng.now after) act)
+
+let timer eng ~after act = schedule_at eng (Int64.add eng.now after) act
+
+let cancel tm = tm.cancelled <- true
+
+(* Resume a suspended thread by scheduling its parked continuation as an
+   event at the current time. Returns false if the thread holds no
+   continuation (already resumed, running, or never suspended): that tells a
+   waker it lost the race against a competing waker or timeout. Any timers
+   attached to the suspension (timeouts, delay wakeups) are cancelled so
+   they cannot later advance the virtual clock. *)
+let try_resume eng thr =
+  match thr.cont with
+  | None -> false
+  | Some k ->
+    thr.cont <- None;
+    List.iter cancel thr.timers;
+    thr.timers <- [];
+    schedule eng ~after:0L (fun () ->
+        let open Effect.Deep in
+        let prev = eng.current in
+        eng.current <- Some thr;
+        (if thr.dead then discontinue k Killed else continue k ());
+        eng.current <- prev);
+    true
+
+let resume eng thr = ignore (try_resume eng thr)
+
+(* Arrange for a suspended thread to be woken after a delay; cancelled
+   automatically if something else resumes it first. Call only from a
+   suspend registration (or on a thread known to be suspended). *)
+let wake_after eng thr d =
+  let tm = timer eng ~after:d (fun () -> resume eng thr) in
+  thr.timers <- tm :: thr.timers
+
+let kill eng thr =
+  if not thr.dead then begin
+    thr.dead <- true;
+    (* If suspended, force prompt unwinding so cleanup handlers run. *)
+    ignore (try_resume eng thr)
+  end
+
+let finish eng thr =
+  thr.dead <- true;
+  eng.live <- eng.live - 1;
+  List.iter cancel thr.timers;
+  thr.timers <- [];
+  List.iter (fun f -> f ()) (List.rev thr.on_exit);
+  thr.on_exit <- []
+
+let exec eng thr body =
+  let open Effect.Deep in
+  match_with
+    (fun () -> try body () with Killed -> ())
+    ()
+    { retc = (fun () -> finish eng thr);
+      exnc =
+        (fun e ->
+          finish eng thr;
+          eng.crash_handler thr e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_now -> Some (fun (k : (a, unit) continuation) -> continue k eng.now)
+          | E_self -> Some (fun (k : (a, unit) continuation) -> continue k thr)
+          | E_delay d ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if thr.dead then discontinue k Killed
+                else begin
+                  thr.cont <- Some k;
+                  wake_after eng thr d
+                end)
+          | E_suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                if thr.dead then discontinue k Killed
+                else begin
+                  thr.cont <- Some k;
+                  register thr
+                end)
+          | _ -> None) }
+
+let spawn ?(name = "thread") ?(at = None) eng body =
+  eng.next_tid <- eng.next_tid + 1;
+  let thr =
+    { tid = eng.next_tid;
+      name;
+      dead = false;
+      cont = None;
+      timers = [];
+      on_exit = [] }
+  in
+  eng.live <- eng.live + 1;
+  let start () =
+    if thr.dead then
+      (* Killed before it ever ran: just account for its exit. *)
+      finish eng thr
+    else begin
+      let prev = eng.current in
+      eng.current <- Some thr;
+      exec eng thr body;
+      eng.current <- prev
+    end
+  in
+  (match at with
+  | None -> schedule eng ~after:0L start
+  | Some time -> ignore (schedule_at eng time start));
+  thr
+
+let spawn_at eng ~at ?name body = spawn ?name ~at:(Some at) eng body
+
+let self () = Effect.perform E_self
+
+let time () = Effect.perform E_now
+
+let delay ns = if Int64.compare ns 0L > 0 then Effect.perform (E_delay ns)
+
+let yield () = Effect.perform (E_delay 0L)
+
+let suspend register = Effect.perform (E_suspend register)
+
+let at_exit_thread f =
+  let thr = self () in
+  thr.on_exit <- f :: thr.on_exit
+
+let run ?until eng =
+  let continue_run () =
+    match Heap.peek eng.events with
+    | None -> false
+    | Some e ->
+      if e.Heap.payload.cancelled then begin
+        ignore (Heap.pop eng.events);
+        true
+      end
+      else begin
+        match until with
+        | Some u when Int64.compare e.Heap.time u > 0 ->
+          eng.now <- u;
+          false
+        | _ ->
+          ignore (Heap.pop eng.events);
+          eng.now <- e.Heap.time;
+          e.Heap.payload.act ();
+          true
+      end
+  in
+  while continue_run () do
+    ()
+  done
+
+let run_until_quiescent eng = run eng
+
+let live_threads eng = eng.live
+
+let pending_events eng = Heap.length eng.events

@@ -1,0 +1,102 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated entities are cooperative green threads implemented with OCaml 5
+    effect handlers; the engine advances a virtual nanosecond clock and runs
+    events in deterministic [(time, sequence)] order. There is no wall-clock
+    time and no OS concurrency anywhere: identical inputs give identical
+    simulations.
+
+    Threads block with {!delay} or {!suspend}; synchronization primitives
+    ({!Ivar}, {!Mailbox}, {!Mutex}, ...) are built on {!suspend} and
+    {!try_resume}. *)
+
+(** Raised inside a thread when it is {!kill}ed, so that [Fun.protect]-style
+    cleanup runs. *)
+exception Killed
+
+exception Deadlock of string
+
+(** Cancellable timer handle. *)
+type timer
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable dead : bool;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable timers : timer list;
+  mutable on_exit : (unit -> unit) list;
+}
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time in nanoseconds. *)
+val now : t -> int64
+
+(** Replace the handler invoked when a thread raises an uncaught exception.
+    The default re-raises, aborting the simulation loudly. *)
+val set_crash_handler : t -> (thread -> exn -> unit) -> unit
+
+(** Schedule a callback at an absolute virtual time (clamped to now). *)
+val schedule_at : t -> int64 -> (unit -> unit) -> timer
+
+(** Schedule a callback after a relative delay. *)
+val schedule : t -> after:int64 -> (unit -> unit) -> unit
+
+(** Schedule a cancellable callback. *)
+val timer : t -> after:int64 -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+
+(** Wake a suspended thread; [true] if this call captured its continuation,
+    [false] if it had already been resumed (a waker losing a race must treat
+    the wake as not delivered). *)
+val try_resume : t -> thread -> bool
+
+val resume : t -> thread -> unit
+
+(** Attach a wake-up timer to a suspended thread (used to implement
+    timeouts); cancelled automatically if another waker wins. Call only
+    from within a {!suspend} registration. *)
+val wake_after : t -> thread -> int64 -> unit
+
+(** Kill a thread: it unwinds with {!Killed} at its next (or current)
+    suspension point. *)
+val kill : t -> thread -> unit
+
+(** Start a new thread. [at] gives an absolute start time. *)
+val spawn : ?name:string -> ?at:int64 option -> t -> (unit -> unit) -> thread
+
+val spawn_at : t -> at:int64 -> ?name:string -> (unit -> unit) -> thread
+
+(** {2 Thread-context operations (must be called from inside a thread)} *)
+
+val self : unit -> thread
+
+val time : unit -> int64
+
+(** Block for a number of virtual nanoseconds. *)
+val delay : int64 -> unit
+
+val yield : unit -> unit
+
+(** Low-level block: parks the current thread and passes it to [register],
+    which stores it where a future waker can {!resume} it. *)
+val suspend : (thread -> unit) -> unit
+
+(** Register a cleanup to run when the current thread exits (normally,
+    by exception, or killed). *)
+val at_exit_thread : (unit -> unit) -> unit
+
+(** {2 Driving the simulation} *)
+
+(** Run until the event queue empties, or until the given virtual time. *)
+val run : ?until:int64 -> t -> unit
+
+val run_until_quiescent : t -> unit
+
+val live_threads : t -> int
+
+val pending_events : t -> int

@@ -1,0 +1,65 @@
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push h ~time ~seq payload =
+  let e = { time; seq; payload } in
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
+  grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift the new entry up to restore the heap invariant. *)
+  let rec up i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if before h.data.(i) h.data.(p) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(p);
+        h.data.(p) <- tmp;
+        up p
+      end
+    end
+  in
+  up (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let m = if l < h.size && before h.data.(l) h.data.(i) then l else i in
+        let m = if r < h.size && before h.data.(r) h.data.(m) then r else m in
+        if m <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(m);
+          h.data.(m) <- tmp;
+          down m
+        end
+      in
+      down 0
+    end;
+    Some top
+  end

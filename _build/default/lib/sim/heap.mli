@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by [(time, seq)], used as the simulation event
+    queue. Ties on [time] are broken by insertion sequence number, which
+    makes event delivery deterministic. *)
+
+type 'a entry = { time : int64; seq : int; payload : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~time ~seq payload] inserts an entry. [seq] must be unique and
+    monotonically increasing for same-time determinism. *)
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+
+(** Smallest entry without removing it. *)
+val peek : 'a t -> 'a entry option
+
+(** Remove and return the smallest entry. *)
+val pop : 'a t -> 'a entry option

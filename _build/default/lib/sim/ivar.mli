@@ -1,0 +1,23 @@
+(** Write-once synchronization variable ("incremental variable").
+
+    The basic building block for request/reply rendezvous such as RPC
+    completion. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_filled : 'a t -> bool
+
+val peek : 'a t -> 'a option
+
+(** Fill the variable and wake all readers. Raises [Invalid_argument] if
+    already filled. *)
+val fill : Engine.t -> 'a t -> 'a -> unit
+
+(** Block until filled; [None] on timeout. Returns immediately if already
+    filled. *)
+val read : ?timeout:int64 -> Engine.t -> 'a t -> 'a option
+
+(** Like {!read} with no timeout. *)
+val read_exn : Engine.t -> 'a t -> 'a

@@ -1,0 +1,45 @@
+type 'a waiter = { slot : 'a option ref; thread : Engine.thread }
+
+type 'a t = { queue : 'a Queue.t; mutable waiters : 'a waiter list }
+
+let create () = { queue = Queue.create (); waiters = [] }
+
+let length m = Queue.length m.queue
+
+let is_empty m = Queue.is_empty m.queue
+
+(* Deliver to the first waiter that is still suspended; losers of a
+   wake race (e.g. timed-out receivers) are skipped and dropped. *)
+let rec deliver eng m x =
+  match m.waiters with
+  | [] -> Queue.push x m.queue
+  | w :: rest ->
+    m.waiters <- rest;
+    if Engine.try_resume eng w.thread then w.slot := Some x
+    else deliver eng m x
+
+let send eng m x = deliver eng m x
+
+let try_receive m = Queue.take_opt m.queue
+
+let receive ?timeout eng m =
+  match Queue.take_opt m.queue with
+  | Some _ as r -> r
+  | None ->
+    let slot = ref None in
+    Engine.suspend (fun thr ->
+        m.waiters <- m.waiters @ [ { slot; thread = thr } ];
+        match timeout with
+        | None -> ()
+        | Some d -> Engine.wake_after eng thr d);
+    (match !slot with
+    | Some _ as r -> r
+    | None ->
+      let me = Engine.self () in
+      m.waiters <- List.filter (fun w -> w.thread != me) m.waiters;
+      None)
+
+let receive_exn eng m =
+  match receive eng m with
+  | Some x -> x
+  | None -> assert false

@@ -1,0 +1,24 @@
+(** Unbounded FIFO message queue with blocking receive.
+
+    Used for interrupt dispatch queues, RPC server pools and workload
+    coordination. Delivery order is FIFO and deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Enqueue a message, waking the longest-waiting receiver if any. *)
+val send : Engine.t -> 'a t -> 'a -> unit
+
+(** Non-blocking receive. *)
+val try_receive : 'a t -> 'a option
+
+(** Blocking receive; [None] on timeout. *)
+val receive : ?timeout:int64 -> Engine.t -> 'a t -> 'a option
+
+(** Blocking receive with no timeout. *)
+val receive_exn : Engine.t -> 'a t -> 'a

@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed lxor 0x5851f42d) }
+
+(* splitmix64: tiny, fast, and good enough for workload synthesis. *)
+let next t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let split t =
+  let seed = Int64.to_int (next t) land max_int in
+  { state = Int64.of_int seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let int64 t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Prng.int64";
+  Int64.rem (Int64.shift_right_logical (next t) 1) bound
+
+let float t =
+  let x = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Simulations must be reproducible, so no global or OS randomness is used
+    anywhere in the repository; every source of variation derives from a
+    seeded [Prng.t]. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** Derive an independent generator (for per-thread determinism). *)
+val split : t -> t
+
+(** Uniform integer in [\[0, bound)]. *)
+val int : t -> int -> int
+
+(** Uniform int64 in [\[0, bound)]. *)
+val int64 : t -> int64 -> int64
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Uniform choice from a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,74 @@
+type summary = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  keep_samples : bool;
+}
+
+let summary ?(keep_samples = true) () =
+  { count = 0; sum = 0.; min_v = infinity; max_v = neg_infinity; samples = []; keep_samples }
+
+let add s x =
+  s.count <- s.count + 1;
+  s.sum <- s.sum +. x;
+  if x < s.min_v then s.min_v <- x;
+  if x > s.max_v then s.max_v <- x;
+  if s.keep_samples then s.samples <- x :: s.samples
+
+let add_ns s ns = add s (Int64.to_float ns)
+
+let count s = s.count
+
+let sum s = s.sum
+
+let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
+let min_value s = if s.count = 0 then 0. else s.min_v
+
+let max_value s = if s.count = 0 then 0. else s.max_v
+
+let percentile s p =
+  if not s.keep_samples then invalid_arg "Stats.percentile: samples not kept";
+  match s.samples with
+  | [] -> 0.
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let idx = int_of_float (p /. 100. *. float_of_int (n - 1) +. 0.5) in
+    arr.(max 0 (min (n - 1) idx))
+
+type counter = { mutable n : int }
+
+let counter () = { n = 0 }
+
+let incr c = c.n <- c.n + 1
+
+let incr_by c k = c.n <- c.n + k
+
+let get c = c.n
+
+let reset c = c.n <- 0
+
+(* A set of named counters, used by cells and benches for event accounting. *)
+type registry = (string, counter) Hashtbl.t
+
+let registry () : registry = Hashtbl.create 32
+
+let find (r : registry) name =
+  match Hashtbl.find_opt r name with
+  | Some c -> c
+  | None ->
+    let c = counter () in
+    Hashtbl.replace r name c;
+    c
+
+let bump ?(by = 1) r name = incr_by (find r name) by
+
+let value r name = match Hashtbl.find_opt r name with Some c -> c.n | None -> 0
+
+let to_list (r : registry) =
+  Hashtbl.fold (fun k c acc -> (k, c.n) :: acc) r []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,52 @@
+(** Measurement helpers: scalar summaries, counters and named-counter
+    registries, shared by the kernel instrumentation and the benches. *)
+
+(** Running summary of a series of observations. *)
+type summary
+
+(** [keep_samples] (default true) retains every observation so percentiles
+    can be computed; disable for very long runs. *)
+val summary : ?keep_samples:bool -> unit -> summary
+
+val add : summary -> float -> unit
+
+(** Record a nanosecond duration. *)
+val add_ns : summary -> int64 -> unit
+
+val count : summary -> int
+
+val sum : summary -> float
+
+val mean : summary -> float
+
+val min_value : summary -> float
+
+val max_value : summary -> float
+
+(** [percentile s 50.] is the median. Requires [keep_samples]. *)
+val percentile : summary -> float -> float
+
+type counter
+
+val counter : unit -> counter
+
+val incr : counter -> unit
+
+val incr_by : counter -> int -> unit
+
+val get : counter -> int
+
+val reset : counter -> unit
+
+(** Named counters for kernel event accounting. *)
+type registry
+
+val registry : unit -> registry
+
+val find : registry -> string -> counter
+
+val bump : ?by:int -> registry -> string -> unit
+
+val value : registry -> string -> int
+
+val to_list : registry -> (string * int) list

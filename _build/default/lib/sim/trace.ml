@@ -1,0 +1,30 @@
+type level = Off | Error | Info | Debug
+
+let level = ref Off
+
+let set_level l = level := l
+
+let enabled l =
+  match (!level, l) with
+  | Off, _ -> false
+  | Error, Error -> true
+  | Error, (Info | Debug) -> false
+  | Info, (Error | Info) -> true
+  | Info, Debug -> false
+  | Debug, _ -> true
+  | _, Off -> false
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+
+let log l eng fmt =
+  if enabled l then
+    Format.kasprintf
+      (fun s -> Format.eprintf "[%10.3f ms] %s@." (ns_to_ms (Engine.now eng)) s)
+      fmt
+  else Format.ikfprintf (fun _ -> ()) Format.err_formatter fmt
+
+let error eng fmt = log Error eng fmt
+
+let info eng fmt = log Info eng fmt
+
+let debug eng fmt = log Debug eng fmt

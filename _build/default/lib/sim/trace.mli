@@ -1,0 +1,14 @@
+(** Simulation tracing with virtual timestamps. Off by default; benches and
+    the CLI can raise the level for debugging. *)
+
+type level = Off | Error | Info | Debug
+
+val set_level : level -> unit
+
+val enabled : level -> bool
+
+val error : Engine.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val info : Engine.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val debug : Engine.t -> ('a, Format.formatter, unit, unit) format4 -> 'a

@@ -1,0 +1,1 @@
+lib/workloads/ocean.ml: Array Bytes Hive Int64 List Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/ocean.mli: Hive Sim Workload

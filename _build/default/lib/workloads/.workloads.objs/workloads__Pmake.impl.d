@@ -1,0 +1,1 @@
+lib/workloads/pmake.ml: Array Buffer Bytes Fun Hive Int64 List Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/pmake.mli: Hive Workload

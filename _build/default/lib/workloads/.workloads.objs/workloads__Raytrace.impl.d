@@ -1,0 +1,1 @@
+lib/workloads/raytrace.ml: Array Bytes Hive Int64 List Printf Sim Workload

@@ -1,0 +1,1 @@
+lib/workloads/raytrace.mli: Hive Workload

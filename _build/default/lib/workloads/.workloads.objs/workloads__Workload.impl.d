@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Bytes Char Flash Hashtbl Hive Int64

@@ -1,0 +1,1 @@
+test/test_careful.ml: Alcotest Array Flash Hive Int64 Printf Sim

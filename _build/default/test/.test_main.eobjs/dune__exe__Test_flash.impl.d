@@ -1,0 +1,1 @@
+test/test_flash.ml: Alcotest Bytes Flash Gen Int64 List Obj QCheck QCheck_alcotest Sim String

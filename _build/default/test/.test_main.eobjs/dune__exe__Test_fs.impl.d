@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Bytes Flash Gen Hashtbl Hive List QCheck QCheck_alcotest Sim Workloads

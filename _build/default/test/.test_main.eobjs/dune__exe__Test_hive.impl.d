@@ -1,0 +1,1 @@
+test/test_hive.ml: Alcotest Array Bytes Flash Hashtbl Hive Int64 List Printf Sim

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_careful Test_flash Test_fs Test_hive Test_recovery Test_rpc Test_sharing Test_sim Test_ssi Test_vm_cow Test_workloads

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Bytes Flash Hive Int64 List Printf Sim

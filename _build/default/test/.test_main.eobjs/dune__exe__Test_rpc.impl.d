@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Array Flash Hive Int64 Sim

@@ -1,0 +1,1 @@
+test/test_sharing.ml: Alcotest Array Flash Gen Hashtbl Hive Int64 List QCheck QCheck_alcotest Sim

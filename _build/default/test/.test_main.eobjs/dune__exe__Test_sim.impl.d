@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fun Int64 List Printexc QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_ssi.ml: Alcotest Array Flash Hive Int64 List Printf Sim

@@ -1,0 +1,1 @@
+test/test_vm_cow.ml: Alcotest Array Bytes Flash Gen Hashtbl Hive Int64 List QCheck QCheck_alcotest Sim

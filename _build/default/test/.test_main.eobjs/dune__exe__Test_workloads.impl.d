@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Faultinj Flash Hashtbl Hive List Printf Sim Workloads

@@ -1,0 +1,295 @@
+(* File system unit tests: creation, truncation, read/write, sizes,
+   persistence, generations, remote attribute propagation. *)
+
+let with_sys ?(ncells = 2) f =
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    { Flash.Config.small with Flash.Config.nodes = ncells; mem_pages_per_node = 768 }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells ~wax:false eng in
+  f eng sys
+
+let run_to_completion sys p =
+  let ok =
+    Hive.System.run_until_processes_done sys ~deadline:120_000_000_000L [ p ]
+  in
+  Alcotest.(check bool) "process finished" true ok;
+  Alcotest.(check (option int)) "clean exit" (Some 0) p.Hive.Types.exit_code
+
+let in_proc sys ~on ~name body =
+  Hive.Process.spawn sys sys.Hive.Types.cells.(on) ~name body
+
+let test_create_read_roundtrip () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p
+                ~content:(Bytes.of_string "the quick brown fox")
+                "/tmp/a.txt"
+            in
+            let back = Hive.Syscall.pread sys p ~fd ~pos:4 ~len:5 in
+            assert (Bytes.to_string back = "quick");
+            Hive.Syscall.close sys p ~fd)
+      in
+      run_to_completion sys p)
+
+let test_write_updates_size () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/grow.txt" in
+            ignore (Hive.Syscall.write sys p ~fd (Bytes.make 10000 'a'));
+            assert (Hive.Syscall.fsize sys p ~fd = 10000);
+            ignore (Hive.Syscall.write sys p ~fd (Bytes.make 5 'b'));
+            assert (Hive.Syscall.fsize sys p ~fd = 10005))
+      in
+      run_to_completion sys p)
+
+let test_remote_write_updates_home_size () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/remote-grow.txt" in
+            ignore (Hive.Syscall.write sys p ~fd (Bytes.make 9000 'z'));
+            Hive.Syscall.close sys p ~fd)
+      in
+      run_to_completion sys p;
+      (* The data home (cell 0) must know the new size. *)
+      match Hive.Fs.find_local sys.Hive.Types.cells.(0) "/tmp/remote-grow.txt" with
+      | Some f -> Alcotest.(check int) "home size" 9000 f.Hive.Types.size
+      | None -> Alcotest.fail "file missing at home")
+
+let test_truncate_invalidates_cache () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.of_string "version-one")
+                "/tmp/trunc.txt"
+            in
+            (* Warm the page cache with the old content. *)
+            ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:11);
+            Hive.Syscall.close sys p ~fd;
+            (* Re-create with new content; cached pages must not leak. *)
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.of_string "version-TWO")
+                "/tmp/trunc.txt"
+            in
+            let back = Hive.Syscall.pread sys p ~fd ~pos:0 ~len:11 in
+            assert (Bytes.to_string back = "version-TWO"))
+      in
+      run_to_completion sys p)
+
+let test_sync_persists_to_disk () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/sync.txt" in
+            ignore (Hive.Syscall.write sys p ~fd (Bytes.of_string "durable"));
+            Hive.Syscall.sync sys p)
+      in
+      run_to_completion sys p;
+      match Workloads.Workload.stable_content sys "/tmp/sync.txt" with
+      | Some b -> Alcotest.(check string) "on disk" "durable" (Bytes.to_string b)
+      | None -> Alcotest.fail "no stable content")
+
+let test_unsynced_data_not_on_disk () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/dirty.txt" in
+            ignore (Hive.Syscall.write sys p ~fd (Bytes.of_string "volatile")))
+      in
+      run_to_completion sys p;
+      match Workloads.Workload.stable_content sys "/tmp/dirty.txt" with
+      | Some b ->
+        Alcotest.(check bool) "write-behind: not yet stable" true
+          (Bytes.length b = 0 || Bytes.to_string b <> "volatile")
+      | None -> ())
+
+let test_open_missing_enoent () =
+  with_sys (fun _eng sys ->
+      let got = ref "" in
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            try ignore (Hive.Syscall.openf sys p "/tmp/nope")
+            with Hive.Types.Syscall_error e ->
+              got := Hive.Types.errno_to_string e)
+      in
+      run_to_completion sys p;
+      Alcotest.(check string) "errno" "ENOENT" !got)
+
+let test_remote_open_missing_enoent () =
+  with_sys (fun _eng sys ->
+      let got = ref "" in
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            try ignore (Hive.Syscall.openf sys p "/tmp/nope-remote")
+            with Hive.Types.Syscall_error e ->
+              got := Hive.Types.errno_to_string e)
+      in
+      run_to_completion sys p;
+      Alcotest.(check string) "errno" "ENOENT" !got)
+
+let test_unlink () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/gone.txt" in
+            Hive.Syscall.close sys p ~fd;
+            Hive.Syscall.unlink sys p "/tmp/gone.txt";
+            match Hive.Syscall.openf sys p "/tmp/gone.txt" with
+            | _ -> failwith "open after unlink should fail"
+            | exception Hive.Types.Syscall_error Hive.Types.ENOENT -> ())
+      in
+      run_to_completion sys p)
+
+let test_remote_unlink () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/gone-remote.txt" in
+            Hive.Syscall.close sys p ~fd;
+            Hive.Syscall.unlink sys p "/tmp/gone-remote.txt")
+      in
+      run_to_completion sys p;
+      Alcotest.(check bool) "removed at home" true
+        (Hive.Fs.find_local sys.Hive.Types.cells.(0) "/tmp/gone-remote.txt"
+        = None))
+
+let test_generation_bump_gives_eio_locally () =
+  with_sys (fun _eng sys ->
+      let got_eio = ref false in
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.of_string "gen0")
+                "/tmp/gen.txt"
+            in
+            (* Simulate the FS noting a discarded dirty page. *)
+            (match Hive.Fs.find_local sys.Hive.Types.cells.(0) "/tmp/gen.txt" with
+            | Some f ->
+              Hive.Fs.note_discard sys sys.Hive.Types.cells.(0) f ~page:0
+                ~dirty:true
+            | None -> failwith "missing");
+            (try ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:4)
+             with Hive.Types.Syscall_error Hive.Types.EIO -> got_eio := true);
+            (* A fresh descriptor opened after the bump works. *)
+            let fd2 = Hive.Syscall.openf sys p "/tmp/gen.txt" in
+            ignore (Hive.Syscall.pread sys p ~fd:fd2 ~pos:0 ~len:4))
+      in
+      run_to_completion sys p;
+      Alcotest.(check bool) "EIO on stale descriptor" true !got_eio)
+
+let test_close_releases_imports () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.make 8192 'q')
+                "/tmp/imports.txt"
+            in
+            ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:8192);
+            let c1 = sys.Hive.Types.cells.(1) in
+            let imported_before =
+              Hashtbl.fold
+                (fun _ (pf : Hive.Types.pfdat) n ->
+                  if pf.Hive.Types.imported_from <> None then n + 1 else n)
+                c1.Hive.Types.page_hash 0
+            in
+            assert (imported_before > 0);
+            Hive.Syscall.close sys p ~fd;
+            let imported_after =
+              Hashtbl.fold
+                (fun _ (pf : Hive.Types.pfdat) n ->
+                  if pf.Hive.Types.imported_from <> None then n + 1 else n)
+                c1.Hive.Types.page_hash 0
+            in
+            assert (imported_after = 0))
+      in
+      run_to_completion sys p)
+
+let test_export_pins_page () =
+  with_sys (fun _eng sys ->
+      (* An exported page must not be reclaimed by the data home. *)
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.make 4096 'p')
+                "/tmp/pinned.txt"
+            in
+            ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:4096);
+            let c0 = sys.Hive.Types.cells.(0) in
+            let reclaimed = Hive.Page_alloc.reclaim sys c0 ~want:10000 in
+            ignore reclaimed;
+            (* The page must still be found in the home's hash. *)
+            match Hive.Fs.find_local c0 "/tmp/pinned.txt" with
+            | Some f ->
+              let fid = f.Hive.Types.fid in
+              let lid = { Hive.Types.tag = Hive.Types.File_obj fid; page = 0 } in
+              assert (Hive.Pfdat.lookup c0 lid <> None)
+            | None -> failwith "missing")
+      in
+      run_to_completion sys p)
+
+let qcheck_fs_random_io =
+  QCheck.Test.make ~name:"fs: random pwrite/pread matches a Bytes model"
+    ~count:30
+    QCheck.(
+      list_of_size Gen.(1 -- 15)
+        (pair (int_bound 20000) (string_of_size Gen.(1 -- 600))))
+    (fun ops ->
+      let eng = Sim.Engine.create () in
+      let mcfg =
+        { Flash.Config.small with Flash.Config.nodes = 2; mem_pages_per_node = 768 }
+      in
+      let sys = Hive.System.boot ~mcfg ~ncells:2 ~wax:false eng in
+      let model = Bytes.make 32768 '\000' in
+      let model_size = ref 0 in
+      let ok = ref true in
+      let p =
+        in_proc sys ~on:1 ~name:"q" (fun sys p ->
+            let fd = Hive.Syscall.creat sys p "/tmp/q.dat" in
+            List.iter
+              (fun (pos, data) ->
+                let data = Bytes.of_string data in
+                ignore (Hive.Syscall.pwrite sys p ~fd ~pos data);
+                Bytes.blit data 0 model pos (Bytes.length data);
+                model_size := max !model_size (pos + Bytes.length data))
+              ops;
+            (* Read the whole file back and compare. *)
+            let back = Hive.Syscall.pread sys p ~fd ~pos:0 ~len:!model_size in
+            if not (Bytes.equal back (Bytes.sub model 0 !model_size)) then
+              ok := false)
+      in
+      ignore
+        (Hive.System.run_until_processes_done sys ~deadline:300_000_000_000L
+           [ p ]);
+      !ok && p.Hive.Types.exit_code = Some 0)
+
+let suite =
+  [
+    Alcotest.test_case "create + pread roundtrip" `Quick
+      test_create_read_roundtrip;
+    Alcotest.test_case "write extends size" `Quick test_write_updates_size;
+    Alcotest.test_case "remote write propagates size to home" `Quick
+      test_remote_write_updates_home_size;
+    Alcotest.test_case "truncate invalidates cached pages" `Quick
+      test_truncate_invalidates_cache;
+    Alcotest.test_case "sync persists to disk" `Quick test_sync_persists_to_disk;
+    Alcotest.test_case "write-behind: unsynced data not stable" `Quick
+      test_unsynced_data_not_on_disk;
+    Alcotest.test_case "open missing -> ENOENT" `Quick test_open_missing_enoent;
+    Alcotest.test_case "remote open missing -> ENOENT" `Quick
+      test_remote_open_missing_enoent;
+    Alcotest.test_case "unlink" `Quick test_unlink;
+    Alcotest.test_case "remote unlink" `Quick test_remote_unlink;
+    Alcotest.test_case "generation bump -> EIO on old fd only" `Quick
+      test_generation_bump_gives_eio_locally;
+    Alcotest.test_case "close releases import bindings" `Quick
+      test_close_releases_imports;
+    Alcotest.test_case "exported pages are pinned against reclaim" `Quick
+      test_export_pins_page;
+    QCheck_alcotest.to_alcotest qcheck_fs_random_io;
+  ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "hive"
+    [
+      ("sim", Test_sim.suite);
+      ("flash", Test_flash.suite);
+      ("hive", Test_hive.suite);
+      ("fs", Test_fs.suite);
+      ("vm-cow", Test_vm_cow.suite);
+      ("recovery", Test_recovery.suite);
+      ("rpc", Test_rpc.suite);
+      ("careful", Test_careful.suite);
+      ("sharing", Test_sharing.suite);
+      ("ssi", Test_ssi.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,155 @@
+(* RPC subsystem tests: dispatch, queued service, error paths, costs. *)
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    Hive.Rpc.register "test.echo" (fun _sys _cell ~src:_ arg ->
+        Hive.Types.Immediate (Ok arg));
+    Hive.Rpc.register "test.queued_echo" (fun _sys _cell ~src:_ arg ->
+        Hive.Types.Queued (fun () -> Ok arg));
+    Hive.Rpc.register "test.fail" (fun _sys _cell ~src:_ _arg ->
+        Hive.Types.Immediate (Error Hive.Types.EAGAIN));
+    Hive.Rpc.register "test.raise" (fun _sys _cell ~src:_ _arg ->
+        raise (Hive.Types.Syscall_error Hive.Types.EFAULT));
+    Hive.Rpc.register "test.slow" (fun sys _cell ~src:_ _arg ->
+        Hive.Types.Queued
+          (fun () ->
+            ignore sys;
+            Sim.Engine.delay 50_000_000L;
+            Ok Hive.Types.P_unit))
+  end
+
+let with_sys f =
+  register ();
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    { Flash.Config.small with Flash.Config.nodes = 2; mem_pages_per_node = 256 }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells:2 ~wax:false eng in
+  f eng sys
+
+(* Returns (outcome, simulated call duration). *)
+let call_from_thread eng sys ~op ?timeout_ns ?arg_bytes arg =
+  let out = ref (Error Hive.Types.EFAULT) in
+  let dur = ref 0L in
+  ignore
+    (Sim.Engine.spawn eng ~name:"caller" (fun () ->
+         let t0 = Sim.Engine.time () in
+         out :=
+           Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1 ~op
+             ?timeout_ns ?arg_bytes arg;
+         dur := Int64.sub (Sim.Engine.time ()) t0));
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 30_000_000_000L) eng;
+  (!out, !dur)
+
+let test_echo () =
+  with_sys (fun eng sys ->
+      match call_from_thread eng sys ~op:"test.echo" (Hive.Types.P_int 42) with
+      | Ok (Hive.Types.P_int 42), _ -> ()
+      | _ -> Alcotest.fail "echo failed")
+
+let test_queued_echo () =
+  with_sys (fun eng sys ->
+      match
+        call_from_thread eng sys ~op:"test.queued_echo" (Hive.Types.P_int 7)
+      with
+      | Ok (Hive.Types.P_int 7), _ -> ()
+      | _ -> Alcotest.fail "queued echo failed")
+
+let test_error_propagates () =
+  with_sys (fun eng sys ->
+      match call_from_thread eng sys ~op:"test.fail" Hive.Types.P_unit with
+      | Error Hive.Types.EAGAIN, _ -> ()
+      | _ -> Alcotest.fail "expected EAGAIN")
+
+let test_handler_exception_becomes_error () =
+  with_sys (fun eng sys ->
+      match call_from_thread eng sys ~op:"test.raise" Hive.Types.P_unit with
+      | Error Hive.Types.EFAULT, _ -> ()
+      | _ -> Alcotest.fail "expected EFAULT")
+
+let test_unknown_op () =
+  with_sys (fun eng sys ->
+      match call_from_thread eng sys ~op:"test.nonexistent" Hive.Types.P_unit with
+      | Error Hive.Types.EFAULT, _ -> ()
+      | _ -> Alcotest.fail "expected EFAULT for unknown op")
+
+let test_timeout_on_slow_op () =
+  with_sys (fun eng sys ->
+      (* 50 ms handler with a 5 ms timeout: the caller must give up. *)
+      match
+        call_from_thread eng sys ~op:"test.slow" ~timeout_ns:5_000_000L
+          Hive.Types.P_unit
+      with
+      | Error Hive.Types.EHOSTDOWN, _ -> ()
+      | _ -> Alcotest.fail "expected timeout")
+
+let test_known_dead_target_fast_fail () =
+  with_sys (fun eng sys ->
+      let c0 = sys.Hive.Types.cells.(0) in
+      c0.Hive.Types.live_set <- [ 0 ];
+      match call_from_thread eng sys ~op:"test.echo" Hive.Types.P_unit with
+      | Error Hive.Types.EHOSTDOWN, dur ->
+        (* No timeout wait: the live-set check short-circuits. *)
+        Alcotest.(check bool) "instant failure" true
+          (Int64.compare dur 1_000_000L < 0)
+      | _ -> Alcotest.fail "expected EHOSTDOWN")
+
+let test_large_args_cost_more () =
+  with_sys (fun eng sys ->
+      let timed arg_bytes =
+        match
+          call_from_thread eng sys ~op:"test.echo" ~arg_bytes
+            Hive.Types.P_unit
+        with
+        | Ok _, dur -> dur
+        | Error _, _ -> Alcotest.fail "call failed"
+      in
+      let small = timed 32 in
+      let big = timed 4096 in
+      Alcotest.(check bool) "copy through shared memory costs more" true
+        (Int64.compare big small > 0))
+
+let test_concurrent_calls () =
+  with_sys (fun eng sys ->
+      let done_count = ref 0 in
+      for _ = 1 to 20 do
+        ignore
+          (Sim.Engine.spawn eng (fun () ->
+               match
+                 Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
+                   ~op:"test.queued_echo" Hive.Types.P_unit
+               with
+               | Ok _ -> incr done_count
+               | Error _ -> ()))
+      done;
+      Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 30_000_000_000L) eng;
+      Alcotest.(check int) "all 20 concurrent queued calls served" 20
+        !done_count)
+
+let test_duplicate_registration_rejected () =
+  register ();
+  Alcotest.check_raises "duplicate op"
+    (Invalid_argument "Rpc.register: duplicate test.echo") (fun () ->
+      Hive.Rpc.register "test.echo" (fun _ _ ~src:_ _ ->
+          Hive.Types.Immediate (Ok Hive.Types.P_unit)))
+
+let suite =
+  [
+    Alcotest.test_case "echo" `Quick test_echo;
+    Alcotest.test_case "queued echo" `Quick test_queued_echo;
+    Alcotest.test_case "handler error propagates" `Quick test_error_propagates;
+    Alcotest.test_case "handler exception becomes error reply" `Quick
+      test_handler_exception_becomes_error;
+    Alcotest.test_case "unknown op" `Quick test_unknown_op;
+    Alcotest.test_case "timeout on slow op" `Quick test_timeout_on_slow_op;
+    Alcotest.test_case "known-dead target fails fast" `Quick
+      test_known_dead_target_fast_fail;
+    Alcotest.test_case "large args cost more" `Quick test_large_args_cost_more;
+    Alcotest.test_case "20 concurrent queued calls" `Quick
+      test_concurrent_calls;
+    Alcotest.test_case "duplicate registration rejected" `Quick
+      test_duplicate_registration_rejected;
+  ]

@@ -1,0 +1,376 @@
+(* Tests for the discrete-event engine and synchronization primitives. *)
+
+let check_i64 = Alcotest.(check int64)
+
+let run_sim f =
+  let eng = Sim.Engine.create () in
+  f eng;
+  Sim.Engine.run eng;
+  eng
+
+let test_clock_advances () =
+  let trace = ref [] in
+  let eng =
+    run_sim (fun eng ->
+        ignore
+          (Sim.Engine.spawn eng ~name:"a" (fun () ->
+               Sim.Engine.delay 100L;
+               trace := ("a", Sim.Engine.time ()) :: !trace;
+               Sim.Engine.delay 50L;
+               trace := ("a2", Sim.Engine.time ()) :: !trace)))
+  in
+  check_i64 "final time" 150L (Sim.Engine.now eng);
+  Alcotest.(check (list (pair string int64)))
+    "trace" [ ("a", 100L); ("a2", 150L) ] (List.rev !trace)
+
+let test_deterministic_order () =
+  let order = ref [] in
+  let eng = Sim.Engine.create () in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Engine.spawn eng ~name:(string_of_int i) (fun () ->
+           Sim.Engine.delay 10L;
+           order := i :: !order))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "spawn order preserved at ties" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let test_spawn_at () =
+  let t = ref 0L in
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn_at eng ~at:500L (fun () -> t := Sim.Engine.time ()));
+  Sim.Engine.run eng;
+  check_i64 "starts at 500" 500L !t
+
+let test_kill_unwinds () =
+  let cleaned = ref false in
+  let reached = ref false in
+  let eng = Sim.Engine.create () in
+  let victim =
+    Sim.Engine.spawn eng ~name:"victim" (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () ->
+            Sim.Engine.delay 1000L;
+            reached := true))
+  in
+  ignore
+    (Sim.Engine.spawn eng ~name:"killer" (fun () ->
+         Sim.Engine.delay 10L;
+         Sim.Engine.kill eng victim));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "cleanup ran" true !cleaned;
+  Alcotest.(check bool) "body did not complete" false !reached;
+  check_i64 "killed promptly, not at 1000" 10L (Sim.Engine.now eng)
+
+let test_kill_before_start () =
+  let ran = ref false in
+  let eng = Sim.Engine.create () in
+  let victim = Sim.Engine.spawn eng (fun () -> ran := true) in
+  Sim.Engine.kill eng victim;
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "never ran" false !ran;
+  Alcotest.(check int) "no live threads" 0 (Sim.Engine.live_threads eng)
+
+let test_run_until () =
+  let count = ref 0 in
+  let eng = Sim.Engine.create () in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         for _ = 1 to 100 do
+           Sim.Engine.delay 10L;
+           incr count
+         done));
+  Sim.Engine.run ~until:55L eng;
+  Alcotest.(check int) "five ticks by t=55" 5 !count;
+  check_i64 "clock clamped" 55L (Sim.Engine.now eng);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "completes later" 100 !count
+
+let test_crash_handler () =
+  let eng = Sim.Engine.create () in
+  let got = ref "" in
+  Sim.Engine.set_crash_handler eng (fun thr e ->
+      got := thr.Sim.Engine.name ^ ":" ^ Printexc.to_string e);
+  ignore (Sim.Engine.spawn eng ~name:"boom" (fun () -> failwith "bad"));
+  Sim.Engine.run eng;
+  Alcotest.(check string) "handler saw it" "boom:Failure(\"bad\")" !got
+
+let test_timer_cancel () =
+  let fired = ref false in
+  let eng = Sim.Engine.create () in
+  let tm = Sim.Engine.timer eng ~after:100L (fun () -> fired := true) in
+  Sim.Engine.cancel tm;
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_ivar_basic () =
+  let eng = Sim.Engine.create () in
+  let iv = Sim.Ivar.create () in
+  let got = ref 0 in
+  ignore
+    (Sim.Engine.spawn eng (fun () -> got := Sim.Ivar.read_exn eng iv));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 42L;
+         Sim.Ivar.fill eng iv 7));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "value" 7 !got;
+  check_i64 "waited" 42L (Sim.Engine.now eng)
+
+let test_ivar_timeout () =
+  let eng = Sim.Engine.create () in
+  let iv = Sim.Ivar.create () in
+  let got = ref (Some 1) in
+  ignore
+    (Sim.Engine.spawn eng (fun () -> got := Sim.Ivar.read ~timeout:100L eng iv));
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "timed out" None !got;
+  check_i64 "at timeout" 100L (Sim.Engine.now eng)
+
+let test_ivar_fill_after_timeout () =
+  let eng = Sim.Engine.create () in
+  let iv = Sim.Ivar.create () in
+  let first = ref (Some 0) and second = ref None in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         first := Sim.Ivar.read ~timeout:10L eng iv));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 50L;
+         Sim.Ivar.fill eng iv 9;
+         second := Sim.Ivar.read eng iv));
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "first timed out" None !first;
+  Alcotest.(check (option int)) "late fill readable" (Some 9) !second
+
+let test_mailbox_fifo () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         for _ = 1 to 3 do
+           got := Sim.Mailbox.receive_exn eng mb :: !got
+         done));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         List.iter
+           (fun x ->
+             Sim.Engine.delay 5L;
+             Sim.Mailbox.send eng mb x)
+           [ 1; 2; 3 ]));
+  Sim.Engine.run eng;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_timeout_then_send () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  let r1 = ref (Some 0) and r2 = ref None in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         r1 := Sim.Mailbox.receive ~timeout:10L eng mb));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 20L;
+         Sim.Mailbox.send eng mb 5;
+         (* Message must not be lost to the timed-out waiter. *)
+         r2 := Sim.Mailbox.try_receive mb));
+  Sim.Engine.run eng;
+  Alcotest.(check (option int)) "timed out" None !r1;
+  Alcotest.(check (option int)) "message preserved" (Some 5) !r2
+
+let test_mutex_exclusion () =
+  let eng = Sim.Engine.create () in
+  let m = Sim.Mutex.create () in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Mutex.with_lock eng m (fun () ->
+               incr inside;
+               if !inside > !max_inside then max_inside := !inside;
+               Sim.Engine.delay 10L;
+               decr inside)))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "mutual exclusion" 1 !max_inside;
+  check_i64 "serialized" 40L (Sim.Engine.now eng)
+
+let test_mutex_killed_holder_releases () =
+  let eng = Sim.Engine.create () in
+  let m = Sim.Mutex.create () in
+  let second_got_lock = ref false in
+  let holder =
+    Sim.Engine.spawn eng (fun () ->
+        Sim.Mutex.with_lock eng m (fun () -> Sim.Engine.delay 1000L))
+  in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 5L;
+         Sim.Mutex.lock eng m;
+         second_got_lock := true));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 10L;
+         Sim.Engine.kill eng holder));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "lock released by kill" true !second_got_lock
+
+let test_semaphore_limits () =
+  let eng = Sim.Engine.create () in
+  let s = Sim.Semaphore.create 2 in
+  let inside = ref 0 and max_inside = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Semaphore.with_acquired eng s (fun () ->
+               incr inside;
+               if !inside > !max_inside then max_inside := !inside;
+               Sim.Engine.delay 10L;
+               decr inside)))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "at most 2 inside" 2 !max_inside;
+  check_i64 "three waves" 30L (Sim.Engine.now eng)
+
+let test_barrier_releases_all () =
+  let eng = Sim.Engine.create () in
+  let b = Sim.Barrier.create 3 in
+  let released = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Engine.delay (Int64.of_int (i * 10));
+           Sim.Barrier.await eng b;
+           released := (i, Sim.Engine.time ()) :: !released))
+  done;
+  Sim.Engine.run eng;
+  List.iter
+    (fun (_, t) -> check_i64 "all released when last arrives" 30L t)
+    !released;
+  Alcotest.(check int) "all three" 3 (List.length !released)
+
+let test_barrier_cyclic () =
+  let eng = Sim.Engine.create () in
+  let b = Sim.Barrier.create 2 in
+  let rounds = ref 0 in
+  for _ = 1 to 2 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           for _ = 1 to 3 do
+             Sim.Engine.delay 1L;
+             Sim.Barrier.await eng b
+           done;
+           incr rounds))
+  done;
+  Sim.Engine.run eng;
+  Alcotest.(check int) "both finished 3 rounds" 2 !rounds
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.next a) (Sim.Prng.next b)
+  done
+
+let test_condvar () =
+  let eng = Sim.Engine.create () in
+  let m = Sim.Mutex.create () in
+  let cv = Sim.Condvar.create () in
+  let ready = ref false and observed = ref false in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Mutex.with_lock eng m (fun () ->
+             while not !ready do
+               Sim.Condvar.wait eng cv m
+             done;
+             observed := true)));
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 30L;
+         Sim.Mutex.with_lock eng m (fun () -> ready := true);
+         Sim.Condvar.signal eng cv));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "condition observed" true !observed
+
+let qcheck_heap_ordered =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iteri
+        (fun i t -> Sim.Heap.push h ~time:(Int64.of_int t) ~seq:i i)
+        times;
+      let rec drain prev acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some e ->
+          let key = (e.Sim.Heap.time, e.Sim.Heap.seq) in
+          if compare key prev < 0 then raise Exit;
+          drain key (e.Sim.Heap.payload :: acc)
+      in
+      match drain (-1L, -1) [] with
+      | popped -> List.length popped = List.length times
+      | exception Exit -> false)
+
+let qcheck_prng_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let g = Sim.Prng.create seed in
+      let x = Sim.Prng.int g bound in
+      x >= 0 && x < bound)
+
+let qcheck_mailbox_preserves_messages =
+  QCheck.Test.make ~name:"mailbox delivers every message exactly once"
+    ~count:100
+    QCheck.(list small_nat)
+    (fun msgs ->
+      let eng = Sim.Engine.create () in
+      let mb = Sim.Mailbox.create () in
+      let got = ref [] in
+      let n = List.length msgs in
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             for _ = 1 to n do
+               got := Sim.Mailbox.receive_exn eng mb :: !got
+             done));
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             List.iter (fun x -> Sim.Mailbox.send eng mb x) msgs));
+      Sim.Engine.run eng;
+      List.rev !got = msgs)
+
+let suite =
+  [
+    Alcotest.test_case "clock advances with delays" `Quick test_clock_advances;
+    Alcotest.test_case "deterministic tie-break order" `Quick
+      test_deterministic_order;
+    Alcotest.test_case "spawn_at starts later" `Quick test_spawn_at;
+    Alcotest.test_case "kill unwinds with cleanup" `Quick test_kill_unwinds;
+    Alcotest.test_case "kill before start" `Quick test_kill_before_start;
+    Alcotest.test_case "run ~until pauses and resumes" `Quick test_run_until;
+    Alcotest.test_case "crash handler invoked" `Quick test_crash_handler;
+    Alcotest.test_case "timer cancel" `Quick test_timer_cancel;
+    Alcotest.test_case "ivar fill/read" `Quick test_ivar_basic;
+    Alcotest.test_case "ivar read timeout" `Quick test_ivar_timeout;
+    Alcotest.test_case "ivar fill after timeout" `Quick
+      test_ivar_fill_after_timeout;
+    Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+    Alcotest.test_case "mailbox timeout does not eat messages" `Quick
+      test_mailbox_timeout_then_send;
+    Alcotest.test_case "mutex mutual exclusion" `Quick test_mutex_exclusion;
+    Alcotest.test_case "mutex released when holder killed" `Quick
+      test_mutex_killed_holder_releases;
+    Alcotest.test_case "semaphore limits concurrency" `Quick
+      test_semaphore_limits;
+    Alcotest.test_case "barrier releases all at once" `Quick
+      test_barrier_releases_all;
+    Alcotest.test_case "barrier is cyclic" `Quick test_barrier_cyclic;
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "condvar signal" `Quick test_condvar;
+    QCheck_alcotest.to_alcotest qcheck_heap_ordered;
+    QCheck_alcotest.to_alcotest qcheck_prng_bounds;
+    QCheck_alcotest.to_alcotest qcheck_mailbox_preserves_messages;
+  ]

@@ -1,0 +1,291 @@
+(* Single-system-image extensions: signals and distributed process
+   groups, spanning tasks, process migration, and the swapper. *)
+
+let with_sys ?(ncells = 4) f =
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    { Flash.Config.small with Flash.Config.nodes = ncells; mem_pages_per_node = 512 }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells ~wax:false eng in
+  f eng sys
+
+let run_to_completion ?(code = Some 0) sys p =
+  let ok =
+    Hive.System.run_until_processes_done sys ~deadline:300_000_000_000L [ p ]
+  in
+  Alcotest.(check bool) "finished" true ok;
+  Alcotest.(check (option int)) "exit code" code p.Hive.Types.exit_code
+
+let in_proc sys ~on ~name body =
+  Hive.Process.spawn sys sys.Hive.Types.cells.(on) ~name body
+
+(* ---------- signals ---------- *)
+
+let test_local_kill_default_terminates () =
+  with_sys (fun _eng sys ->
+      let victim =
+        in_proc sys ~on:0 ~name:"victim" (fun sys p ->
+            Hive.Syscall.compute sys p 10_000_000_000L)
+      in
+      let killer =
+        in_proc sys ~on:0 ~name:"killer" (fun sys p ->
+            Sim.Engine.delay 10_000_000L;
+            Hive.Syscall.kill sys p ~pid:victim.Hive.Types.pid
+              Hive.Signal.SIGKILL)
+      in
+      run_to_completion sys killer;
+      ignore
+        (Hive.System.run_until_processes_done sys ~deadline:1_000_000_000L
+           [ victim ]);
+      Alcotest.(check (option int)) "terminated by signal" (Some 128)
+        victim.Hive.Types.exit_code)
+
+let test_cross_cell_kill () =
+  with_sys (fun _eng sys ->
+      let victim =
+        in_proc sys ~on:3 ~name:"victim" (fun sys p ->
+            Hive.Syscall.compute sys p 10_000_000_000L)
+      in
+      let killer =
+        in_proc sys ~on:0 ~name:"killer" (fun sys p ->
+            Hive.Syscall.compute sys p 10_000_000L;
+            Hive.Syscall.kill sys p ~pid:victim.Hive.Types.pid
+              Hive.Signal.SIGTERM)
+      in
+      run_to_completion sys killer;
+      ignore
+        (Hive.System.run_until_processes_done sys ~deadline:1_000_000_000L
+           [ victim ]);
+      Alcotest.(check (option int)) "terminated across cells" (Some 128)
+        victim.Hive.Types.exit_code)
+
+let test_signal_handler_runs () =
+  with_sys (fun _eng sys ->
+      let handled = ref false in
+      let victim =
+        in_proc sys ~on:1 ~name:"victim" (fun sys p ->
+            Hive.Syscall.signal_handle p Hive.Signal.SIGUSR1 (fun _ ->
+                handled := true);
+            Hive.Syscall.compute sys p 100_000_000L)
+      in
+      let sender =
+        in_proc sys ~on:0 ~name:"sender" (fun sys p ->
+            Sim.Engine.delay 10_000_000L;
+            Hive.Syscall.kill sys p ~pid:victim.Hive.Types.pid
+              Hive.Signal.SIGUSR1)
+      in
+      run_to_completion sys sender;
+      run_to_completion sys victim;
+      Alcotest.(check bool) "handler ran, process survived" true !handled)
+
+let test_sigkill_uncatchable () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun _sys p ->
+            match Hive.Syscall.signal_handle p Hive.Signal.SIGKILL (fun _ -> ()) with
+            | () -> failwith "SIGKILL handler must be rejected"
+            | exception Invalid_argument _ -> ())
+      in
+      run_to_completion sys p)
+
+let test_distributed_process_group () =
+  with_sys (fun _eng sys ->
+      (* Members of group 42 on three different cells; killpg kills all of
+         them and nothing else. *)
+      let mk cell =
+        in_proc sys ~on:cell ~name:(Printf.sprintf "member%d" cell)
+          (fun sys p ->
+            Hive.Syscall.setpgid p 4242;
+            Hive.Syscall.compute sys p 10_000_000_000L)
+      in
+      let members = [ mk 0; mk 1; mk 2 ] in
+      let bystander =
+        in_proc sys ~on:1 ~name:"bystander" (fun sys p ->
+            Hive.Syscall.compute sys p 300_000_000L)
+      in
+      let killer =
+        in_proc sys ~on:3 ~name:"killer" (fun sys p ->
+            Sim.Engine.delay 50_000_000L;
+            Hive.Syscall.killpg sys p ~pgid:4242 Hive.Signal.SIGTERM)
+      in
+      run_to_completion sys killer;
+      ignore
+        (Hive.System.run_until_processes_done sys ~deadline:2_000_000_000L
+           members);
+      List.iter
+        (fun (m : Hive.Types.process) ->
+          Alcotest.(check (option int)) "group member terminated" (Some 128)
+            m.Hive.Types.exit_code)
+        members;
+      run_to_completion sys bystander)
+
+(* ---------- spanning tasks ---------- *)
+
+let test_spanning_task_shares_memory () =
+  with_sys (fun _eng sys ->
+      let sums = Array.make 4 0L in
+      let p =
+        in_proc sys ~on:0 ~name:"spawner" (fun sys p ->
+            let task = Hive.Spanning.create sys p ~shared_pages:8 in
+            let barrier = Sim.Barrier.create 4 in
+            for t = 0 to 3 do
+              ignore
+                (Hive.Spanning.add_thread sys task ~on_cell:t ~name:"w"
+                   (fun sys w ->
+                     (* Each thread writes its slot in the shared page... *)
+                     Hive.Spanning.write_shared sys w ~page:0 ~offset:(t * 8)
+                       (Int64.of_int (100 + t));
+                     Sim.Barrier.await sys.Hive.Types.eng barrier;
+                     (* ...then sums everyone's slots: true write sharing
+                        across all four cells. *)
+                     let s = ref 0L in
+                     for u = 0 to 3 do
+                       s :=
+                         Int64.add !s
+                           (Hive.Spanning.read_shared sys w ~page:0
+                              ~offset:(u * 8))
+                     done;
+                     sums.(t) <- !s))
+            done;
+            let codes = Hive.Spanning.join sys task in
+            assert (List.for_all (fun c -> c = 0) codes);
+            Hive.Spanning.destroy sys task)
+      in
+      run_to_completion sys p;
+      Array.iteri
+        (fun t s ->
+          Alcotest.(check int64)
+            (Printf.sprintf "thread %d saw all writes" t)
+            406L s)
+        sums)
+
+let test_spanning_task_dies_with_cell () =
+  with_sys (fun eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"spawner" (fun sys p ->
+            let task = Hive.Spanning.create sys p ~shared_pages:4 in
+            for t = 0 to 3 do
+              ignore
+                (Hive.Spanning.add_thread sys task ~on_cell:t ~name:"w"
+                   (fun sys w ->
+                     (* Touch the shared segment to establish dependency. *)
+                     Hive.Spanning.write_shared sys w ~page:0 ~offset:0 1L;
+                     Hive.Syscall.compute sys w 10_000_000_000L))
+            done;
+            ignore (Hive.Spanning.join sys task))
+      in
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             Sim.Engine.delay 200_000_000L;
+             Hive.System.inject_node_failure sys 2));
+      ignore
+        (Hive.System.run_until_processes_done sys ~deadline:30_000_000_000L
+           [ p ]);
+      (* All threads die: the one on the dead cell with it, the others
+         because their shared segment depends on a dead resource or the
+         task home; the spawner's join returns. *)
+      Alcotest.(check bool) "spawner finished" true
+        (p.Hive.Types.pstate = Hive.Types.Proc_zombie))
+
+(* ---------- migration ---------- *)
+
+let test_migration_moves_process () =
+  with_sys (fun _eng sys ->
+      let seen = ref [] in
+      let p =
+        in_proc sys ~on:0 ~name:"nomad" (fun sys p ->
+            let r = Hive.Syscall.mmap_anon sys p ~npages:2 in
+            let vp = r.Hive.Types.start_page in
+            Hive.Syscall.write_word sys p ~vpage:vp ~offset:0 11L;
+            seen := Hive.Syscall.getcell p :: !seen;
+            Hive.Syscall.migrate sys p ~to_cell:2;
+            seen := Hive.Syscall.getcell p :: !seen;
+            (* Memory written before migration is still visible: the anon
+               page is reached through the COW tree across cells. *)
+            let v = Hive.Syscall.read_word sys p ~vpage:vp ~offset:0 in
+            assert (v = 11L);
+            (* And new writes work on the new cell. *)
+            Hive.Syscall.write_word sys p ~vpage:vp ~offset:8 22L)
+      in
+      run_to_completion sys p;
+      Alcotest.(check (list int)) "cells visited" [ 2; 0 ] !seen;
+      Alcotest.(check bool) "process now owned by cell 2" true
+        (List.memq p sys.Hive.Types.cells.(2).Hive.Types.processes);
+      Alcotest.(check bool) "no longer owned by cell 0" false
+        (List.memq p sys.Hive.Types.cells.(0).Hive.Types.processes))
+
+let test_migration_to_dead_cell_fails () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            sys.Hive.Types.cells.(0).Hive.Types.live_set <- [ 0; 2; 3 ];
+            match Hive.Process.migrate sys p ~to_cell:1 with
+            | Error Hive.Types.EHOSTDOWN -> ()
+            | _ -> failwith "expected EHOSTDOWN")
+      in
+      run_to_completion sys p)
+
+(* ---------- swap ---------- *)
+
+let test_swap_out_and_in () =
+  with_sys ~ncells:2 (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let r = Hive.Syscall.mmap_anon sys p ~npages:4 in
+            let vp = r.Hive.Types.start_page in
+            for k = 0 to 3 do
+              Hive.Syscall.write_word sys p ~vpage:(vp + k) ~offset:0
+                (Int64.of_int (1000 + k))
+            done;
+            let c0 = sys.Hive.Types.cells.(0) in
+            (* Swap the process's idle anon pages out. *)
+            let out = Hive.Swap.swap_out_process sys p in
+            assert (out = 4);
+            assert (Hive.Swap.swapped_pages c0 = 4);
+            (* Faulting them back must restore the exact contents. *)
+            for k = 0 to 3 do
+              let v = Hive.Syscall.read_word sys p ~vpage:(vp + k) ~offset:0 in
+              assert (v = Int64.of_int (1000 + k))
+            done;
+            assert (Hive.Swap.swapped_pages c0 = 0))
+      in
+      run_to_completion sys p)
+
+let test_swap_idle_respects_pins () =
+  with_sys ~ncells:2 (fun _eng sys ->
+      (* A mapped (refs > 0) page must not be swapped by the idle scan. *)
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            let r = Hive.Syscall.mmap_anon sys p ~npages:2 in
+            let vp = r.Hive.Types.start_page in
+            Hive.Syscall.write_word sys p ~vpage:vp ~offset:0 5L;
+            let c0 = sys.Hive.Types.cells.(0) in
+            let n = Hive.Swap.swap_out_idle sys c0 ~want:100 in
+            assert (n = 0);
+            assert (Hive.Syscall.read_word sys p ~vpage:vp ~offset:0 = 5L))
+      in
+      run_to_completion sys p)
+
+let suite =
+  [
+    Alcotest.test_case "kill: default action terminates" `Quick
+      test_local_kill_default_terminates;
+    Alcotest.test_case "kill across cells" `Quick test_cross_cell_kill;
+    Alcotest.test_case "signal handler runs, process survives" `Quick
+      test_signal_handler_runs;
+    Alcotest.test_case "SIGKILL cannot be caught" `Quick
+      test_sigkill_uncatchable;
+    Alcotest.test_case "distributed process group kill" `Quick
+      test_distributed_process_group;
+    Alcotest.test_case "spanning task write-shares memory across 4 cells"
+      `Quick test_spanning_task_shares_memory;
+    Alcotest.test_case "spanning task dies with a cell" `Quick
+      test_spanning_task_dies_with_cell;
+    Alcotest.test_case "migration moves a process between cells" `Quick
+      test_migration_moves_process;
+    Alcotest.test_case "migration to a dead cell fails" `Quick
+      test_migration_to_dead_cell_fails;
+    Alcotest.test_case "swap out and fault back in" `Quick test_swap_out_and_in;
+    Alcotest.test_case "idle swap respects pinned pages" `Quick
+      test_swap_idle_respects_pins;
+  ]
