@@ -42,14 +42,18 @@ let timed_in_thread eng body =
 
 (* ---------- Section 6: RPC latency ---------- *)
 
+let noop_op = Hive.Rpc.Op.declare "bench.noop"
+
+let noop_queued_op = Hive.Rpc.Op.declare "bench.noop_queued"
+
 let bench_registered = ref false
 
 let register_bench_ops () =
   if not !bench_registered then begin
     bench_registered := true;
-    Hive.Rpc.register "bench.noop" (fun _sys _cell ~src:_ _arg ->
+    Hive.Rpc.register noop_op (fun _sys _cell ~src:_ _arg ->
         Hive.Types.Immediate (Ok Hive.Types.P_unit));
-    Hive.Rpc.register "bench.noop_queued" (fun _sys _cell ~src:_ _arg ->
+    Hive.Rpc.register noop_queued_op (fun _sys _cell ~src:_ _arg ->
         Hive.Types.Queued (fun () -> Ok Hive.Types.P_unit))
   end
 
@@ -68,21 +72,33 @@ let avg_rpc_us eng sys ~op ~arg_bytes ~n =
   in
   Int64.to_float total /. float_of_int n /. 1e3
 
+(* Per-op client-side latency percentiles, from the kernel's own
+   instrumentation (the same histograms `hive_sim --metrics-json` dumps). *)
+let rpc_percentile_rows sys =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc)
+    sys.Hive.Types.rpc_client_ns []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (name, h) ->
+         let p q = Sim.Stats.hist_percentile h q /. 1e3 in
+         row "%-26s n=%-6d p50 %6.1f us   p95 %6.1f us   p99 %6.1f us" name
+           (Sim.Stats.hist_count h) (p 50.) (p 95.) (p 99.))
+
 let rpc_latency () =
   section_header "rpc-latency (Section 6)";
   let eng, sys = boot () in
   register_bench_ops ();
-  let null_us = avg_rpc_us eng sys ~op:"bench.noop" ~arg_bytes:0 ~n:1000 in
-  let common_us = avg_rpc_us eng sys ~op:"bench.noop" ~arg_bytes:64 ~n:1000 in
+  let null_us = avg_rpc_us eng sys ~op:noop_op ~arg_bytes:0 ~n:1000 in
+  let common_us = avg_rpc_us eng sys ~op:noop_op ~arg_bytes:64 ~n:1000 in
   let queued_us =
-    avg_rpc_us eng sys ~op:"bench.noop_queued" ~arg_bytes:0 ~n:1000
+    avg_rpc_us eng sys ~op:noop_queued_op ~arg_bytes:0 ~n:1000
   in
   compare_row ~label:"null RPC end-to-end" ~paper:"7.2"
     ~measured:(Printf.sprintf "%.1f" null_us) ~unit_:"us";
   compare_row ~label:"RPC component of common request" ~paper:"9.6"
     ~measured:(Printf.sprintf "%.1f" common_us) ~unit_:"us";
   compare_row ~label:"null queued RPC" ~paper:"34"
-    ~measured:(Printf.sprintf "%.1f" queued_us) ~unit_:"us"
+    ~measured:(Printf.sprintf "%.1f" queued_us) ~unit_:"us";
+  rpc_percentile_rows sys
 
 (* ---------- Section 4.1: careful reference ---------- *)
 
@@ -101,7 +117,7 @@ let careful_ref () =
         done)
   in
   let careful_us = Int64.to_float total /. float_of_int n /. 1e3 in
-  let rpc_us = avg_rpc_us eng sys ~op:"bench.noop" ~arg_bytes:0 ~n in
+  let rpc_us = avg_rpc_us eng sys ~op:noop_op ~arg_bytes:0 ~n in
   compare_row ~label:"careful reference clock read" ~paper:"1.16"
     ~measured:(Printf.sprintf "%.2f" careful_us) ~unit_:"us";
   compare_row ~label:"same data via RPC" ~paper:">= 7.2"
@@ -529,8 +545,8 @@ let ablations () =
   section_header "ablations (design choices from DESIGN.md)";
   let eng, sys = boot () in
   register_bench_ops ();
-  let int_us = avg_rpc_us eng sys ~op:"bench.noop" ~arg_bytes:0 ~n:500 in
-  let q_us = avg_rpc_us eng sys ~op:"bench.noop_queued" ~arg_bytes:0 ~n:500 in
+  let int_us = avg_rpc_us eng sys ~op:noop_op ~arg_bytes:0 ~n:500 in
+  let q_us = avg_rpc_us eng sys ~op:noop_queued_op ~arg_bytes:0 ~n:500 in
   row "interrupt-level RPC %.1f us vs queued-only %.1f us (%.1fx): why the hot paths were restructured to interrupt level"
     int_us q_us (q_us /. int_us);
   let cfg = Flash.Config.default in
@@ -677,7 +693,7 @@ let simulator_bench () =
                (Sim.Engine.spawn eng (fun () ->
                     for _ = 1 to 100 do
                       ignore
-                        (Hive.Rpc.call sys ~from:c0 ~target:1 ~op:"bench.noop"
+                        (Hive.Rpc.call sys ~from:c0 ~target:1 ~op:noop_op
                            ~arg_bytes:0 ~reply_bytes:0 Hive.Types.P_unit)
                     done));
              Sim.Engine.run ~until:1_000_000_000L eng));

@@ -44,11 +44,28 @@ let print_counters sys =
       List.iter (fun (k, v) -> Printf.printf "    %-28s %d\n" k v) cs)
     per_cell
 
+(* Attach a Chrome trace_event sink when --trace-out is given; returns the
+   finalizer that terminates the JSON array. *)
+let attach_trace sys = function
+  | None -> fun () -> ()
+  | Some path ->
+    let sink, close = Sim.Event.chrome_file path in
+    Sim.Event.attach sys.Hive.Types.events sink;
+    close
+
+let finish_observability sys ~trace_close ~metrics_json =
+  trace_close ();
+  (match metrics_json with
+  | None -> ()
+  | Some path -> Hive.Metrics.write_file sys path);
+  Hive.Metrics.print_summary sys
+
 (* ---- workload command ---- *)
 
-let run_workload name ncells smp verbose =
+let run_workload name ncells smp verbose trace_out metrics_json =
   if verbose then Sim.Trace.set_level Sim.Trace.Info;
   let _eng, sys = boot ~ncells ~smp ~oracle:false in
+  let trace_close = attach_trace sys trace_out in
   let result, _ = setup_and_run sys name in
   Printf.printf "%s on %s (%d cell%s): %.3f s simulated%s\n"
     result.Workloads.Workload.name
@@ -64,6 +81,7 @@ let run_workload name ncells smp verbose =
           (Workloads.Workload.verify_outcome_to_string v))
     (verify_of sys name);
   if verbose then print_counters sys;
+  finish_observability sys ~trace_close ~metrics_json;
   0
 
 (* ---- sweep command: all configurations of one workload ---- *)
@@ -88,8 +106,9 @@ let run_sweep name =
 
 (* ---- fault command ---- *)
 
-let run_fault kind ncells node victim at_ms oracle =
+let run_fault kind ncells node victim at_ms oracle trace_out metrics_json =
   let eng, sys = boot ~ncells ~smp:false ~oracle in
+  let trace_close = attach_trace sys trace_out in
   Workloads.Pmake.setup sys Workloads.Pmake.default;
   let t_inject = ref 0L in
   let rng = Sim.Prng.create 1 in
@@ -137,6 +156,7 @@ let run_fault kind ncells node victim at_ms oracle =
       (Workloads.Pmake.verify sys)
   in
   Printf.printf "corrupt outputs: %d (must be 0)\n" (List.length corrupt);
+  finish_observability sys ~trace_close ~metrics_json;
   if corrupt = [] then 0 else 1
 
 (* ---- cmdliner terms ---- *)
@@ -153,6 +173,24 @@ let smp_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print kernel counters.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the run (load it in \
+           chrome://tracing or Perfetto).")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write end-of-run metrics (per-op RPC latency histograms, \
+           per-cell counters, recovery timeline) as JSON.")
+
 let workload_name =
   Arg.(
     required
@@ -162,7 +200,9 @@ let workload_name =
 let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run one workload on a chosen configuration.")
-    Term.(const run_workload $ workload_name $ cells_arg $ smp_arg $ verbose_arg)
+    Term.(
+      const run_workload $ workload_name $ cells_arg $ smp_arg $ verbose_arg
+      $ trace_out_arg $ metrics_json_arg)
 
 let sweep_cmd =
   Cmd.v
@@ -205,7 +245,7 @@ let fault_cmd =
        ~doc:"Inject a fault during pmake and report containment.")
     Term.(
       const run_fault $ fault_kind $ cells_arg $ node_arg $ victim_arg
-      $ at_ms_arg $ oracle_arg)
+      $ at_ms_arg $ oracle_arg $ trace_out_arg $ metrics_json_arg)
 
 let main =
   Cmd.group

@@ -4,6 +4,8 @@ type t = {
   cfg : Config.t;
   bits : int64 array array; (* bits.(node).(local page index) *)
   mutable changes : int; (* count of firewall status updates, for benches *)
+  mutable notify : (pfn:Addr.pfn -> old_vec:int64 -> new_vec:int64 -> unit) option;
+      (* observer invoked on every real permission-vector change *)
 }
 
 let create cfg =
@@ -11,7 +13,10 @@ let create cfg =
     cfg;
     bits = Array.init cfg.Config.nodes (fun _ -> Array.make cfg.Config.mem_pages_per_node 0L);
     changes = 0;
+    notify = None;
   }
+
+let set_notify t f = t.notify <- Some f
 
 let bit_of_proc proc = Int64.shift_left 1L (proc land 63)
 
@@ -31,8 +36,14 @@ let set_vector t ~by ~pfn v =
   check_local t ~by ~pfn;
   let node = Addr.node_of_pfn t.cfg pfn in
   let i = Addr.local_index t.cfg pfn in
-  if t.bits.(node).(i) <> v then t.changes <- t.changes + 1;
-  t.bits.(node).(i) <- v
+  let old = t.bits.(node).(i) in
+  if old <> v then begin
+    t.changes <- t.changes + 1;
+    t.bits.(node).(i) <- v;
+    match t.notify with
+    | Some f -> f ~pfn ~old_vec:old ~new_vec:v
+    | None -> ()
+  end
 
 let grant t ~by ~pfn ~proc =
   set_vector t ~by ~pfn (Int64.logor (vector t ~pfn) (bit_of_proc proc))

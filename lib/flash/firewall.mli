@@ -47,3 +47,9 @@ val writable_by : t -> proc:int -> Addr.pfn list
 
 (** Total number of firewall status changes so far (performance statistic). *)
 val change_count : t -> int
+
+(** Install an observer invoked whenever a page's permission vector
+    actually changes (grants, revokes, recovery mass-revocation); used by
+    the observability layer to trace hardware-level firewall traffic. *)
+val set_notify :
+  t -> (pfn:Addr.pfn -> old_vec:int64 -> new_vec:int64 -> unit) -> unit

@@ -18,11 +18,11 @@ type Types.payload +=
   | P_vote of { alive : bool }
   | P_dismiss of { accuser : Types.cell_id }
 
-let vote_op = "agree.vote"
+let vote_op = Rpc.Op.declare "agree.vote"
 
-let ping_op = "agree.ping"
+let ping_op = Rpc.Op.declare "agree.ping"
 
-let dismiss_op = "agree.dismiss"
+let dismiss_op = Rpc.Op.declare "agree.dismiss"
 
 let probe_timeout_ns = 2_000_000L
 
@@ -73,7 +73,8 @@ let run (sys : Types.system) (accuser : Types.cell) ~suspect ~reason =
     Types.sys_bump sys "agreement.rounds";
     Sim.Trace.info sys.Types.eng "agreement: cell %d accuses cell %d (%s)"
       accuser.Types.cell_id suspect reason;
-    Gate.close accuser;
+    Types.note_phase sys ~cell:accuser.Types.cell_id "recovery.agreement";
+    Gate.close sys accuser;
     let voters =
       List.filter (fun id -> id <> suspect) accuser.Types.live_set
     in
@@ -131,7 +132,7 @@ let register_handlers () =
             (fun () ->
               (* Suspend user-level processes for the duration of
                  agreement (and recovery, if confirmed). *)
-              Gate.close cell;
+              Gate.close sys cell;
               let alive =
                 if false_alert_count cell accuser >= 2 then
                   (* Repeated false accuser: considered corrupt; refuse to

@@ -19,9 +19,9 @@ type Types.payload +=
     }
   | P_vote of { alive : bool; }
   | P_dismiss of { accuser : Types.cell_id; }
-val vote_op : string
-val ping_op : string
-val dismiss_op : string
+val vote_op : Rpc.Op.t
+val ping_op : Rpc.Op.t
+val dismiss_op : Rpc.Op.t
 val probe_timeout_ns : int64
 val oracle_dead : Types.system -> int -> bool
 val probe :

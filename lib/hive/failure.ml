@@ -16,6 +16,7 @@ let handle_hint (sys : Types.system) (reporter : Types.cell) ~suspect ~reason =
   then begin
     reporter.Types.suspected <- suspect :: reporter.Types.suspected;
     Types.bump reporter "failure.hints";
+    Types.note_phase sys ~cell:reporter.Types.cell_id "recovery.hint";
     Sim.Trace.info sys.Types.eng "cell %d suspects cell %d (%s)"
       reporter.Types.cell_id suspect reason;
     (* Run agreement from a fresh kernel thread: hints fire from fault

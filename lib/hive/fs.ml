@@ -25,15 +25,14 @@ type Types.payload +=
   | P_dirty of { ino : int; page : int }
   | P_setsize of { ino : int; size : int }
 
-let lookup_op = "fs.lookup"
+let lookup_op = Rpc.Op.declare "fs.lookup"
 
-let locate_op = "fs.locate"
+let locate_op = Rpc.Op.declare ~reply_bytes:512 "fs.locate"
 
-let create_op = "fs.create"
+(* arg_bytes overridden per call: the payload carries the file content. *)
+let create_op = Rpc.Op.declare "fs.create"
 
-let dirty_op = "fs.mark_dirty"
-
-let setsize_op = "fs.set_size"
+let setsize_op = Rpc.Op.declare ~arg_bytes:32 "fs.set_size"
 
 (* Batch size for locate RPCs issued by the sequential read/write paths
    (read-ahead clustering); faults locate a single page. *)
@@ -143,6 +142,11 @@ let page_in (sys : Types.system) (home : Types.cell) (f : Types.file) page =
       Pfdat.insert home lid pf;
       Hashtbl.replace f.Types.cached_pages page pf;
       Types.bump home "fs.page_ins";
+      Sim.Event.instant sys.Types.events ~cell:home.Types.cell_id
+        ~args:
+          [ ("pfn", Sim.Event.Int pf.Types.pfn);
+            ("page", Sim.Event.Int page) ]
+        ~cat:Sim.Event.Page "fs.page_in";
       pf
 
 (* Copy a cached page into the stable-content buffer (no disk timing). *)
@@ -238,8 +242,7 @@ let open_file (sys : Types.system) (c : Types.cell) ~path =
        setup. *)
     Sim.Engine.delay p.Params.open_remote_extra_ns;
     match
-      Rpc.call sys ~from:c ~target:home_id ~op:lookup_op ~arg_bytes:64
-        (P_lookup { path })
+      Rpc.call sys ~from:c ~target:home_id ~op:lookup_op (P_lookup { path })
     with
     | Ok (P_attrs { ino; size = _; generation }) ->
       Ok
@@ -317,7 +320,6 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
       let npages = match usage with `Fault -> 1 | `Syscall -> locate_batch in
       match
         Rpc.call sys ~from:c ~target:data_home ~op:locate_op
-          ~arg_bytes:64 ~reply_bytes:512
           (P_locate { ino = sfid.Types.ino; page; npages; writable })
       with
       | Ok (P_located { pages }) -> (
@@ -417,7 +419,7 @@ let write (sys : Types.system) (c : Types.cell) vnode ~opened_gen ~pos data =
   (match (r, vnode) with
   | Ok _, Types.Shadow_vnode { fid; data_home; _ } ->
     ignore
-      (Rpc.call sys ~from:c ~target:data_home ~op:setsize_op ~arg_bytes:32
+      (Rpc.call sys ~from:c ~target:data_home ~op:setsize_op
          (P_setsize { ino = fid.Types.ino; size = !end_pos }))
   | _ -> ());
   r

@@ -24,11 +24,10 @@ type Types.payload +=
   | P_created of { ino : int; }
   | P_dirty of { ino : int; page : int; }
   | P_setsize of { ino : int; size : int; }
-val lookup_op : string
-val locate_op : string
-val create_op : string
-val dirty_op : string
-val setsize_op : string
+val lookup_op : Rpc.Op.t
+val locate_op : Rpc.Op.t
+val create_op : Rpc.Op.t
+val setsize_op : Rpc.Op.t
 val locate_batch : int
 val page_size : Types.system -> int
 val home_of_path : Types.system -> string -> int

@@ -5,9 +5,16 @@
    threads pass through the gate at syscall and fault entry points and
    block while it is closed. *)
 
-let close (c : Types.cell) = c.Types.user_gate_open <- false
+let gate_event (sys : Types.system) (c : Types.cell) name =
+  Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
+    ~cat:Sim.Event.Gate name
+
+let close (sys : Types.system) (c : Types.cell) =
+  if c.Types.user_gate_open then gate_event sys c "gate.close";
+  c.Types.user_gate_open <- false
 
 let open_ (sys : Types.system) (c : Types.cell) =
+  if not c.Types.user_gate_open then gate_event sys c "gate.open";
   c.Types.user_gate_open <- true;
   let ws = c.Types.gate_waiters in
   c.Types.gate_waiters <- [];

@@ -5,7 +5,7 @@
    threads pass through the gate at syscall and fault entry points and
    block while it is closed. *)
 
-val close : Types.cell -> unit
+val close : Types.system -> Types.cell -> unit
 val open_ : Types.system -> Types.cell -> unit
 val pass : Types.cell -> unit
 val is_open : Types.cell -> bool

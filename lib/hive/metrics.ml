@@ -1,0 +1,122 @@
+(* Metrics export: a machine-readable snapshot of what the kernel
+   instrumentation accumulated over a run — per-op RPC latency histograms
+   (client and server side), per-cell counters and status, system-wide
+   counters, and the recovery phase timeline. Emitted as hand-rolled JSON
+   (the simulator deliberately has no external dependencies). *)
+
+let buf_add = Buffer.add_string
+
+let esc s =
+  let b = Buffer.create (String.length s) in
+  Sim.Event.json_escape b s;
+  Buffer.contents b
+
+(* Print a float without OCaml's trailing-dot syntax ("1." is not JSON). *)
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%g" v
+
+let hist_json b (h : Sim.Stats.histogram) =
+  let p q = Sim.Stats.hist_percentile h q in
+  buf_add b
+    (Printf.sprintf
+       "{\"count\":%d,\"mean_ns\":%s,\"min_ns\":%s,\"max_ns\":%s,\"p50_ns\":%s,\"p95_ns\":%s,\"p99_ns\":%s,\"buckets\":["
+       (Sim.Stats.hist_count h)
+       (fnum (Sim.Stats.hist_mean h))
+       (fnum (Sim.Stats.hist_min h))
+       (fnum (Sim.Stats.hist_max h))
+       (fnum (p 50.)) (fnum (p 95.)) (fnum (p 99.)));
+  List.iteri
+    (fun i (lo, hi, n) ->
+      if i > 0 then buf_add b ",";
+      buf_add b (Printf.sprintf "[%Ld,%Ld,%d]" lo hi n))
+    (Sim.Stats.hist_nonempty h);
+  buf_add b "]}"
+
+(* Histogram tables keyed by op name, sorted for stable output. *)
+let sorted_hists tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist_table_json b tbl =
+  buf_add b "{";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then buf_add b ",";
+      buf_add b (Printf.sprintf "\"%s\":" (esc name));
+      hist_json b h)
+    (sorted_hists tbl);
+  buf_add b "}"
+
+let counters_json b kvs =
+  buf_add b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then buf_add b ",";
+      buf_add b (Printf.sprintf "\"%s\":%d" (esc k) v))
+    (List.sort compare kvs);
+  buf_add b "}"
+
+let status_string = function
+  | Types.Cell_up -> "up"
+  | Types.Cell_recovering -> "recovering"
+  | Types.Cell_down -> "down"
+
+let to_json (sys : Types.system) =
+  let b = Buffer.create 4096 in
+  buf_add b
+    (Printf.sprintf "{\n\"sim_time_ns\":%Ld,\n" (Sim.Engine.now sys.Types.eng));
+  buf_add b "\"rpc\":{\"client\":";
+  hist_table_json b sys.Types.rpc_client_ns;
+  buf_add b ",\"server\":";
+  hist_table_json b sys.Types.rpc_server_ns;
+  buf_add b "},\n\"cells\":[";
+  Array.iteri
+    (fun i (c : Types.cell) ->
+      if i > 0 then buf_add b ",";
+      buf_add b
+        (Printf.sprintf "\n{\"id\":%d,\"status\":\"%s\",\"live_set\":[%s],\"counters\":"
+           c.Types.cell_id
+           (status_string c.Types.cstatus)
+           (String.concat ","
+              (List.map string_of_int (List.sort compare c.Types.live_set))));
+      counters_json b (Sim.Stats.to_list c.Types.counters);
+      buf_add b "}")
+    sys.Types.cells;
+  buf_add b "],\n\"system_counters\":";
+  counters_json b (Sim.Stats.to_list sys.Types.sys_counters);
+  buf_add b ",\n\"recovery_timeline\":[";
+  List.iteri
+    (fun i (phase, t) ->
+      if i > 0 then buf_add b ",";
+      buf_add b (Printf.sprintf "\n{\"phase\":\"%s\",\"ns\":%Ld}" (esc phase) t))
+    sys.Types.recovery_timeline;
+  buf_add b "]\n}\n";
+  Buffer.contents b
+
+let write_file (sys : Types.system) path =
+  let oc = open_out path in
+  output_string oc (to_json sys);
+  close_out oc
+
+(* Human-readable end-of-run summary: per-op RPC latency percentiles. *)
+let print_summary (sys : Types.system) =
+  let client = sorted_hists sys.Types.rpc_client_ns in
+  if client <> [] then begin
+    Printf.printf "RPC client latency (us):\n";
+    Printf.printf "  %-26s %8s %8s %8s %8s\n" "op" "count" "p50" "p95" "p99";
+    List.iter
+      (fun (name, h) ->
+        let p q = Sim.Stats.hist_percentile h q /. 1e3 in
+        Printf.printf "  %-26s %8d %8.1f %8.1f %8.1f\n" name
+          (Sim.Stats.hist_count h) (p 50.) (p 95.) (p 99.))
+      client
+  end;
+  if sys.Types.recovery_timeline <> [] then begin
+    Printf.printf "recovery timeline:\n";
+    List.iter
+      (fun (phase, t) ->
+        Printf.printf "  %10.3f ms  %s\n" (Int64.to_float t /. 1e6) phase)
+      sys.Types.recovery_timeline
+  end

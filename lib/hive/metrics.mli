@@ -1,0 +1,14 @@
+(** Metrics export: JSON snapshot of the run's instrumentation — per-op
+    RPC latency histograms (p50/p95/p99 plus log-scale buckets), per-cell
+    counters and status, system counters, and the recovery phase
+    timeline. *)
+
+(** Render the full metrics document as a JSON string. *)
+val to_json : Types.system -> string
+
+(** Write {!to_json} to [path]. *)
+val write_file : Types.system -> string -> unit
+
+(** Print a human-readable summary (per-op RPC latency percentiles and
+    the recovery timeline) to stdout. *)
+val print_summary : Types.system -> unit

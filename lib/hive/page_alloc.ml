@@ -14,9 +14,9 @@ type Types.payload +=
   | P_borrowed of { pfns : int list }
   | P_return of { pfns : int list }
 
-let borrow_op = "page_alloc.borrow"
+let borrow_op = Rpc.Op.declare "page_alloc.borrow"
 
-let return_op = "page_alloc.return"
+let return_op = Rpc.Op.declare "page_alloc.return"
 
 exception Out_of_memory
 

@@ -13,8 +13,8 @@ type Types.payload +=
     P_borrow of { count : int; }
   | P_borrowed of { pfns : int list; }
   | P_return of { pfns : int list; }
-val borrow_op : string
-val return_op : string
+val borrow_op : Rpc.Op.t
+val return_op : Rpc.Op.t
 exception Out_of_memory
 val free_count : Types.cell -> int
 val reclaim : Types.system -> Types.cell -> want:int -> int

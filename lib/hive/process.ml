@@ -16,7 +16,11 @@ type Types.payload +=
     }
   | P_forked of { pid : int }
 
-let fork_op = "process.fork"
+let fork_op = Rpc.Op.declare ~arg_bytes:512 "process.fork"
+
+(* Process-image state transfer during migration (previously piggybacked
+   on the agreement ping op, which hid it from per-op accounting). *)
+let migrate_xfer_op = Rpc.Op.declare ~arg_bytes:512 "process.migrate_xfer"
 
 let cell_of (sys : Types.system) (p : Types.process) =
   sys.Types.cells.(p.Types.proc_cell)
@@ -184,7 +188,7 @@ let fork (sys : Types.system) (parent : Types.process) ?on_cell ~name body =
     Sim.Engine.delay p.Params.fork_remote_extra_ns;
     let regions = split_anon_regions sys parent sys.Types.cells.(target) in
     match
-      Rpc.call sys ~from:here ~target ~op:fork_op ~arg_bytes:512
+      Rpc.call sys ~from:here ~target ~op:fork_op
         (P_fork
            {
              parent_pid = parent.Types.pid;
@@ -266,7 +270,7 @@ let migrate (sys : Types.system) (p : Types.process) ~to_cell =
     (* State transfer cost: one RPC plus the process image copy. *)
     Sim.Engine.delay sys.Types.params.Params.fork_remote_extra_ns;
     match
-      Rpc.call sys ~from:here ~target:to_cell ~op:"agree.ping" ~arg_bytes:512
+      Rpc.call sys ~from:here ~target:to_cell ~op:migrate_xfer_op
         Types.P_unit
     with
     | Ok _ -> Ok ()
@@ -288,6 +292,8 @@ let registered = ref false
 let register_handlers () =
   if not !registered then begin
     registered := true;
+    Rpc.register migrate_xfer_op (fun _sys _cell ~src:_ _arg ->
+        Types.Immediate (Ok Types.P_unit));
     Rpc.register fork_op (fun sys cell ~src:_ arg ->
         match arg with
         | P_fork { parent_pid; name; body; regions; fds } ->

@@ -12,7 +12,8 @@ type Types.payload +=
       regions : Types.region list; fds : (int * Types.fd) list;
     }
   | P_forked of { pid : int; }
-val fork_op : string
+val fork_op : Rpc.Op.t
+val migrate_xfer_op : Rpc.Op.t
 val cell_of : Types.system -> Types.process -> Types.cell
 val cpu_of : Types.system -> Types.process -> Flash.Cpu.t
 val compute : Types.system -> Types.process -> int64 -> unit

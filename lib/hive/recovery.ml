@@ -19,7 +19,7 @@
 type Types.payload +=
   | P_recovery_start of { dead : Types.cell_id list }
 
-let start_op = "recovery.start"
+let start_op = Rpc.Op.declare "recovery.start"
 
 let diagnostics_ns = 18_000_000L
 
@@ -30,15 +30,24 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) ~dead =
   sys.Types.recovery_events <-
     (c.Types.cell_id, Sim.Engine.now eng) :: sys.Types.recovery_events;
   c.Types.in_recovery <- true;
-  Gate.close c;
+  Gate.close sys c;
   Types.bump c "recovery.rounds";
   c.Types.live_set <- List.filter (fun id -> not (List.mem id dead)) c.Types.live_set;
+  (* The recovery master (lowest live cell id) stamps the global recovery
+     timeline; barrier phases are global sync points, so one cell's view
+     of them is the system's. *)
+  let min_live = List.fold_left min max_int c.Types.live_set in
+  let is_master = c.Types.cell_id = min_live in
+  let note phase =
+    if is_master then Types.note_phase sys ~cell:c.Types.cell_id phase
+  in
   (* Phase 1: TLB flush + removal of remote mappings and import bindings. *)
   Vm.flush_remote_bindings sys c;
   Sim.Engine.delay p.Params.recovery_phase_ns;
   (match sys.Types.recovery_barrier1 with
   | Some b -> Sim.Barrier.await eng b
   | None -> ());
+  note "recovery.barrier1";
   (* Phase 2: nothing remote is pending now; revoke grants and discard
      everything the failed cells could have written. (The ablation knob
      models a system without preemptive discard: corrupt pages stay.) *)
@@ -47,6 +56,7 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) ~dead =
       Vm.preemptive_discard sys c ~dead
     else 0
   in
+  note "recovery.discard";
   Sim.Trace.info eng "cell %d recovery: discarded %d pages" c.Types.cell_id
     discarded;
   (* Kill processes that depended on resources of the failed cells. *)
@@ -67,13 +77,14 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) ~dead =
   (match sys.Types.recovery_barrier2 with
   | Some b -> Sim.Barrier.await eng b
   | None -> ());
+  note "recovery.barrier2";
   (* Back to normal operation. *)
   c.Types.suspected <- [];
   c.Types.in_recovery <- false;
   Gate.open_ sys c;
+  note "recovery.resume";
   (* The recovery master finishes the round. *)
-  let min_live = List.fold_left min max_int c.Types.live_set in
-  if c.Types.cell_id = min_live then begin
+  if is_master then begin
     (* Diagnose the failed nodes; reintegration would go here. *)
     Sim.Engine.delay diagnostics_ns;
     sys.Types.recovery_complete_at <- Sim.Engine.now eng;

@@ -18,7 +18,7 @@
 
 type Types.payload +=
     P_recovery_start of { dead : Types.cell_id list; }
-val start_op : string
+val start_op : Rpc.Op.t
 val diagnostics_ns : int64
 val recovery_sequence :
   Types.system ->

@@ -21,17 +21,47 @@ type Flash.Sips.message +=
     }
   | M_reply of { call_id : int; outcome : Types.rpc_outcome }
 
+(* Typed operation descriptors. Every RPC op is declared once, up front,
+   with its wire-size defaults and timeout; [register] and [call] take the
+   descriptor, so an undeclared or misspelled op cannot compile and every
+   call site agrees on payload sizes. The descriptor name also keys the
+   per-op latency histograms. *)
+module Op = struct
+  type t = {
+    name : string;
+    arg_bytes : int;
+    reply_bytes : int;
+    timeout_ns : int64 option; (* None = use Params.rpc_timeout_ns *)
+  }
+
+  let declared : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let declare ?(arg_bytes = 64) ?(reply_bytes = 64) ?timeout_ns name =
+    if Hashtbl.mem declared name then
+      invalid_arg ("Rpc.Op.declare: duplicate " ^ name);
+    let op = { name; arg_bytes; reply_bytes; timeout_ns } in
+    Hashtbl.replace declared name op;
+    op
+
+  let name op = op.name
+
+  let all () =
+    Hashtbl.fold (fun _ op acc -> op :: acc) declared []
+    |> List.sort (fun a b -> compare a.name b.name)
+end
+
 type handler =
   Types.system -> Types.cell -> src:Types.cell_id -> Types.payload ->
   Types.handler_action
 
 let handlers : (string, handler) Hashtbl.t = Hashtbl.create 64
 
-let register op h =
-  if Hashtbl.mem handlers op then invalid_arg ("Rpc.register: duplicate " ^ op);
-  Hashtbl.replace handlers op h
+let register (op : Op.t) h =
+  if Hashtbl.mem handlers op.Op.name then
+    invalid_arg ("Rpc.register: duplicate " ^ op.Op.name);
+  Hashtbl.replace handlers op.Op.name h
 
-let registered op = Hashtbl.mem handlers op
+let registered (op : Op.t) = Hashtbl.mem handlers op.Op.name
 
 (* Marshaling cost on one side of a call carrying [bytes] of payload:
    stub execution, plus, beyond one cache line, buffer allocation and a
@@ -76,12 +106,37 @@ let service_request (sys : Types.system) (server : Types.cell) env =
     Flash.Cpu.steal sys.Types.eng cpu p.Params.rpc_server_dispatch_ns;
     if arg_bytes > Flash.Sips.max_payload then
       Sim.Engine.delay (marshal_cost sys arg_bytes);
+    (* Handler execution time per op: for immediate service that is the
+       handler itself; for queued service, the work function in the pool
+       process (dispatch cost is negligible and not double-counted). *)
+    let timed : 'a. (unit -> 'a) -> 'a =
+     fun f ->
+      let t0 = Sim.Engine.now sys.Types.eng in
+      let result =
+        Sim.Event.span sys.Types.events ~cell:server.Types.cell_id
+          ~args:[ ("src", Sim.Event.Int src_cell) ]
+          ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op) f
+      in
+      Sim.Stats.hist_add
+        (Types.hist_for sys.Types.rpc_server_ns op)
+        (Int64.sub (Sim.Engine.now sys.Types.eng) t0);
+      result
+    in
     match Hashtbl.find_opt handlers op with
     | None ->
       send_reply sys server ~src_cell ~call_id (Error Types.EFAULT)
     | Some h -> (
+      let t0 = Sim.Engine.now sys.Types.eng in
       match h sys server ~src:src_cell arg with
       | Types.Immediate outcome ->
+        (* Interrupt-level service: record the handler time and mark it as
+           an instant (it never blocks, unlike queued spans). *)
+        let dt = Int64.sub (Sim.Engine.now sys.Types.eng) t0 in
+        Sim.Stats.hist_add (Types.hist_for sys.Types.rpc_server_ns op) dt;
+        Sim.Event.instant sys.Types.events ~cell:server.Types.cell_id
+          ~args:
+            [ ("src", Sim.Event.Int src_cell); ("dur_ns", Sim.Event.I64 dt) ]
+          ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op);
         send_reply sys server ~src_cell ~call_id outcome
       | Types.Queued f ->
         (* Longer-latency request: hand off to the server process pool;
@@ -90,7 +145,10 @@ let service_request (sys : Types.system) (server : Types.cell) env =
         Flash.Cpu.steal sys.Types.eng cpu p.Params.rpc_queue_handoff_ns;
         Sim.Mailbox.send sys.Types.eng server.Types.rpc_queue (fun () ->
             Sim.Engine.delay p.Params.rpc_context_switch_ns;
-            let outcome = try f () with Types.Syscall_error e -> Error e in
+            let outcome =
+              timed (fun () ->
+                  try f () with Types.Syscall_error e -> Error e)
+            in
             send_reply sys server ~src_cell ~call_id outcome)
       | exception Types.Syscall_error e ->
         send_reply sys server ~src_cell ~call_id (Error e)))
@@ -155,16 +213,43 @@ let start_threads (sys : Types.system) (cell : Types.cell) =
 
 (* Client side of a call. Returns the outcome, or [Error EHOSTDOWN] after a
    timeout or delivery failure (also reporting a failure hint, since an RPC
-   timeout means the target cell is potentially failed). *)
-let call (sys : Types.system) ~(from : Types.cell) ~target ~op
-    ?(arg_bytes = 64) ?(reply_bytes = 64) ?timeout_ns arg =
+   timeout means the target cell is potentially failed). Payload sizes and
+   the timeout default from the op descriptor; per-call overrides remain
+   for variable-size payloads. *)
+let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
+    ?arg_bytes ?reply_bytes ?timeout_ns arg =
   let p = sys.Types.params in
+  let arg_bytes =
+    match arg_bytes with Some b -> b | None -> op.Op.arg_bytes
+  in
+  let reply_bytes =
+    match reply_bytes with Some b -> b | None -> op.Op.reply_bytes
+  in
   let timeout_ns =
-    match timeout_ns with Some t -> t | None -> p.Params.rpc_timeout_ns
+    match (timeout_ns, op.Op.timeout_ns) with
+    | Some t, _ -> t
+    | None, Some t -> t
+    | None, None -> p.Params.rpc_timeout_ns
   in
   let eng = sys.Types.eng in
+  let op_name = op.Op.name in
   Types.bump from "rpc.calls";
-  if not (List.mem target from.Types.live_set) then Error Types.EHOSTDOWN
+  let t0 = Sim.Engine.now eng in
+  (* Record the whole-call latency the client observed, on every exit
+     path; the enclosing span closes even if the thread is killed. *)
+  let finish outcome =
+    Sim.Stats.hist_add
+      (Types.hist_for sys.Types.rpc_client_ns op_name)
+      (Int64.sub (Sim.Engine.now eng) t0);
+    outcome
+  in
+  Sim.Event.span sys.Types.events ~cell:from.Types.cell_id
+    ~args:[ ("target", Sim.Event.Int target) ]
+    ~cat:Sim.Event.Rpc
+    ("rpc.call:" ^ op_name)
+  @@ fun () ->
+  if not (List.mem target from.Types.live_set) then
+    finish (Error Types.EHOSTDOWN)
   else begin
     Sim.Engine.delay p.Params.rpc_client_send_ns;
     Sim.Engine.delay (marshal_cost sys arg_bytes);
@@ -185,12 +270,16 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~op
         ~kind:Flash.Sips.Request
         ~size:(min arg_bytes Flash.Sips.max_payload)
         (M_request
-           { call_id; src_cell = from.Types.cell_id; op; arg; arg_bytes })
+           { call_id;
+             src_cell = from.Types.cell_id;
+             op = op_name;
+             arg;
+             arg_bytes })
     with
     | exception Flash.Sips.Target_failed _ ->
       Hashtbl.remove from.Types.pending_calls call_id;
       report_hint sys from target "rpc: target node down";
-      Error Types.EHOSTDOWN
+      finish (Error Types.EHOSTDOWN)
     | () -> (
       (* The client processor spins waiting for the reply; it only context
          switches after a timeout of 50 us, which almost never occurs. *)
@@ -199,12 +288,12 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~op
         Sim.Engine.delay p.Params.rpc_client_recv_ns;
         if reply_bytes > Flash.Sips.max_payload then
           Sim.Engine.delay (marshal_cost sys reply_bytes);
-        outcome
+        finish outcome
       | None ->
         Hashtbl.remove from.Types.pending_calls call_id;
         Types.bump from "rpc.timeouts";
         report_hint sys from target "rpc: timeout";
-        Error Types.EHOSTDOWN)
+        finish (Error Types.EHOSTDOWN))
   end
 
 (* Convenience wrapper raising Syscall_error on failure. *)

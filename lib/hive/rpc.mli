@@ -9,7 +9,33 @@
    The base system services requests at interrupt level on the receiving
    node. A queuing service and server-process pool handles longer-latency
    requests (those that may block, e.g. for I/O): an initial interrupt-level
-   RPC launches the operation and a completion reply returns the result. *)
+   RPC launches the operation and a completion reply returns the result.
+
+   Operations are identified by {!Op.t} descriptors declared once with
+   {!Op.declare}: registration and calls both take the descriptor, so an
+   undeclared or misspelled op name cannot compile, sizes cannot be
+   mismatched between call sites, and the descriptor keys the per-op
+   latency histograms. *)
+
+(** Typed RPC operation descriptors. *)
+module Op : sig
+  type t = private {
+    name : string;
+    arg_bytes : int; (* default request payload size *)
+    reply_bytes : int; (* default reply payload size *)
+    timeout_ns : int64 option; (* None = Params.rpc_timeout_ns *)
+  }
+
+  (** Declare an operation; raises [Invalid_argument] on a duplicate name.
+      Call once at module initialization. *)
+  val declare :
+    ?arg_bytes:int -> ?reply_bytes:int -> ?timeout_ns:int64 -> string -> t
+
+  val name : t -> string
+
+  (** Every declared op, sorted by name (for metrics export). *)
+  val all : unit -> t list
+end
 
 type Flash.Sips.message +=
     M_request of { call_id : int; src_cell : int; op : string;
@@ -21,8 +47,8 @@ type handler =
     Types.cell ->
     src:Types.cell_id -> Types.payload -> Types.handler_action
 val handlers : (string, handler) Hashtbl.t
-val register : string -> handler -> unit
-val registered : string -> bool
+val register : Op.t -> handler -> unit
+val registered : Op.t -> bool
 val marshal_cost : Types.system -> int -> int64
 val report_hint :
   Types.system ->
@@ -37,11 +63,15 @@ val service_request :
 val service_reply :
   Types.system -> Types.cell -> Flash.Sips.envelope -> unit
 val start_threads : Types.system -> Types.cell -> unit
+
+(** Call [op] on [target]. Payload sizes and the timeout default from the
+    descriptor; the optional arguments override them for variable-size
+    payloads. *)
 val call :
   Types.system ->
   from:Types.cell ->
   target:Types.cell_id ->
-  op:string ->
+  op:Op.t ->
   ?arg_bytes:int ->
   ?reply_bytes:int ->
   ?timeout_ns:int64 -> Types.payload -> Types.rpc_outcome
@@ -49,7 +79,7 @@ val call_exn :
   Types.system ->
   from:Types.cell ->
   target:Types.cell_id ->
-  op:string ->
+  op:Op.t ->
   ?arg_bytes:int ->
   ?reply_bytes:int ->
   ?timeout_ns:int64 -> Types.payload -> Types.payload

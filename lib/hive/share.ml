@@ -15,13 +15,20 @@
 
 type Types.payload += P_release of { lid : Types.logical_id }
 
-let release_op = "share.release"
+let release_op = Rpc.Op.declare "share.release"
+
+let page_event sys (c : Types.cell) name (pf : Types.pfdat) ~peer =
+  Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
+    ~args:
+      [ ("pfn", Sim.Event.Int pf.Types.pfn); ("peer", Sim.Event.Int peer) ]
+    ~cat:Sim.Event.Page name
 
 (* Data-home side: record a client's access to a cached page. *)
 let export (sys : Types.system) (home : Types.cell) (pf : Types.pfdat)
     ~client ~writable =
   Sim.Engine.delay sys.Types.params.Params.fault_export_ns;
   Types.bump home "share.exports";
+  page_event sys home "page.export" pf ~peer:client;
   if not (List.mem client pf.Types.exported_to) then
     pf.Types.exported_to <- client :: pf.Types.exported_to;
   if writable then Wild_write.grant_for_export sys home pf ~client
@@ -40,6 +47,9 @@ let import (sys : Types.system) (client : Types.cell) ~pfn ~data_home ~lid
   match Pfdat.lookup client lid with
   | Some pf -> pf (* raced with another local importer *)
   | None ->
+    Sim.Event.instant sys.Types.events ~cell:client.Types.cell_id
+      ~args:[ ("pfn", Sim.Event.Int pfn); ("peer", Sim.Event.Int data_home) ]
+      ~cat:Sim.Event.Page "page.import";
     let pf =
       match Hashtbl.find_opt client.Types.frames pfn with
       | Some existing when existing.Types.loaned_to <> None ->
@@ -67,6 +77,7 @@ let release (sys : Types.system) (client : Types.cell) (pf : Types.pfdat) =
     end
     else Pfdat.free_extended client pf;
     Types.bump client "share.releases";
+    page_event sys client "page.release" pf ~peer:home;
     if List.mem home client.Types.live_set then
       ignore
         (Rpc.call sys ~from:client ~target:home ~op:release_op

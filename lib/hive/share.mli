@@ -14,7 +14,7 @@
    re-access). *)
 
 type Types.payload += P_release of { lid : Types.logical_id; }
-val release_op : string
+val release_op : Rpc.Op.t
 val export :
   Types.system ->
   Types.cell ->

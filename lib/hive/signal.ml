@@ -20,9 +20,9 @@ type Types.payload +=
   | P_signal of { pid : Types.pid; signal : signal }
   | P_signal_group of { pgid : int; signal : signal }
 
-let signal_op = "signal.deliver"
+let signal_op = Rpc.Op.declare ~arg_bytes:16 "signal.deliver"
 
-let signal_group_op = "signal.deliver_group"
+let signal_group_op = Rpc.Op.declare ~arg_bytes:16 "signal.deliver_group"
 
 (* Per-process signal state lives outside the Types bundle, keyed by pid;
    entries die with the process table entry. *)
@@ -94,7 +94,6 @@ let kill (sys : Types.system) (from : Types.process) ~pid signal =
     else
       match
         Rpc.call sys ~from:here ~target:target.Types.proc_cell ~op:signal_op
-          ~arg_bytes:16
           (P_signal { pid; signal })
       with
       | Ok _ -> Ok ()
@@ -120,7 +119,6 @@ let kill_group (sys : Types.system) (from : Types.process) ~pgid signal =
       if cell_id <> here.Types.cell_id then
         match
           Rpc.call sys ~from:here ~target:cell_id ~op:signal_group_op
-            ~arg_bytes:16
             (P_signal_group { pgid; signal })
         with
         | Ok _ -> ()

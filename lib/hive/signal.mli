@@ -13,8 +13,8 @@ val signal_to_string : signal -> string
 type Types.payload +=
     P_signal of { pid : Types.pid; signal : signal; }
   | P_signal_group of { pgid : int; signal : signal; }
-val signal_op : string
-val signal_group_op : string
+val signal_op : Rpc.Op.t
+val signal_group_op : Rpc.Op.t
 type pstate = {
   mutable handlers : (signal * (Types.process -> unit)) list;
   mutable pending : signal list;

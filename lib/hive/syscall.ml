@@ -14,6 +14,18 @@ let getpid (p : Types.process) = p.Types.pid
 
 let getcell (p : Types.process) = p.Types.proc_cell
 
+(* Common syscall prologue: every entry passes the user gate of the
+   process's current cell (suspending while agreement or recovery has it
+   closed), counts the call, and runs the body inside a tracing span. The
+   cell is looked up once and handed to the body, so a call cannot
+   accidentally mix gate cell and execution cell. *)
+let enter (sys : Types.system) (p : Types.process) name f =
+  let c = cell_of sys p in
+  Gate.pass c;
+  Types.bump c ("syscall." ^ name);
+  Sim.Event.span sys.Types.events ~cell:c.Types.cell_id ~cat:Sim.Event.Syscall
+    ("sys." ^ name) (fun () -> f c)
+
 (* ---------- Files ---------- *)
 
 let install_fd (p : Types.process) vnode gen ~writable =
@@ -23,27 +35,24 @@ let install_fd (p : Types.process) vnode gen ~writable =
     { Types.fd_num = n; vnode; pos = 0; opened_gen = gen; fd_writable = writable };
   n
 
-let openf (sys : Types.system) (p : Types.process) ?(writable = false) path =
-  let c = cell_of sys p in
-  Gate.pass c;
-  let vnode, gen = ok (Fs.open_file sys c ~path) in
+let note_remote_home (p : Types.process) vnode =
   let fid = Types.vnode_fid vnode in
   if fid.Types.home <> p.Types.proc_cell then
     p.Types.uses_cells <-
       (if List.mem fid.Types.home p.Types.uses_cells then p.Types.uses_cells
-       else fid.Types.home :: p.Types.uses_cells);
+       else fid.Types.home :: p.Types.uses_cells)
+
+let openf (sys : Types.system) (p : Types.process) ?(writable = false) path =
+  enter sys p "open" @@ fun c ->
+  let vnode, gen = ok (Fs.open_file sys c ~path) in
+  note_remote_home p vnode;
   install_fd p vnode gen ~writable
 
 let creat (sys : Types.system) (p : Types.process) ?(content = Bytes.empty)
     path =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "creat" @@ fun c ->
   let vnode, gen = ok (Fs.create_file sys c ~path ~content) in
-  let fid = Types.vnode_fid vnode in
-  if fid.Types.home <> p.Types.proc_cell then
-    p.Types.uses_cells <-
-      (if List.mem fid.Types.home p.Types.uses_cells then p.Types.uses_cells
-       else fid.Types.home :: p.Types.uses_cells);
+  note_remote_home p vnode;
   install_fd p vnode gen ~writable:true
 
 let fd_of (p : Types.process) fd =
@@ -52,8 +61,7 @@ let fd_of (p : Types.process) fd =
   | None -> raise (E Types.EBADF)
 
 let read (sys : Types.system) (p : Types.process) ~fd ~len =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "read" @@ fun c ->
   let f = fd_of p fd in
   let data =
     ok
@@ -64,14 +72,12 @@ let read (sys : Types.system) (p : Types.process) ~fd ~len =
   data
 
 let pread (sys : Types.system) (p : Types.process) ~fd ~pos ~len =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "pread" @@ fun c ->
   let f = fd_of p fd in
   ok (Fs.read sys c f.Types.vnode ~opened_gen:f.Types.opened_gen ~pos ~len)
 
 let write (sys : Types.system) (p : Types.process) ~fd data =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "write" @@ fun c ->
   let f = fd_of p fd in
   if not f.Types.fd_writable then raise (E Types.EBADF);
   let n =
@@ -83,15 +89,16 @@ let write (sys : Types.system) (p : Types.process) ~fd data =
   n
 
 let pwrite (sys : Types.system) (p : Types.process) ~fd ~pos data =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "pwrite" @@ fun c ->
   let f = fd_of p fd in
   if not f.Types.fd_writable then raise (E Types.EBADF);
   ok (Fs.write sys c f.Types.vnode ~opened_gen:f.Types.opened_gen ~pos data)
 
-let seek (p : Types.process) ~fd pos = (fd_of p fd).Types.pos <- pos
+let seek (sys : Types.system) (p : Types.process) ~fd pos =
+  enter sys p "seek" @@ fun _c -> (fd_of p fd).Types.pos <- pos
 
 let close (sys : Types.system) (p : Types.process) ~fd =
+  enter sys p "close" @@ fun c ->
   let f = fd_of p fd in
   Hashtbl.remove p.Types.fds fd;
   (* Closing the last descriptor drops idle import bindings (and thereby
@@ -112,72 +119,61 @@ let close (sys : Types.system) (p : Types.process) ~fd =
       p.Types.regions
   in
   if not (still_open || still_mapped) then
-    Fs.release_file_imports sys (cell_of sys p) f.Types.vnode
+    Fs.release_file_imports sys c f.Types.vnode
 
 let fsize (sys : Types.system) (p : Types.process) ~fd =
-  let c = cell_of sys p in
-  ok (Fs.file_size sys c (fd_of p fd).Types.vnode)
+  enter sys p "fsize" @@ fun c -> ok (Fs.file_size sys c (fd_of p fd).Types.vnode)
 
 let unlink (sys : Types.system) (p : Types.process) path =
-  let c = cell_of sys p in
-  Gate.pass c;
-  ok (Fs.unlink sys c path)
+  enter sys p "unlink" @@ fun c -> ok (Fs.unlink sys c path)
 
 let sync (sys : Types.system) (p : Types.process) =
-  let c = cell_of sys p in
-  Gate.pass c;
-  Fs.sync_cell sys c
+  enter sys p "sync" @@ fun c -> Fs.sync_cell sys c
 
 (* ---------- Memory ---------- *)
 
 let mmap_file (sys : Types.system) (p : Types.process) ~fd ~npages ~writable =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "mmap_file" @@ fun _c ->
   let f = fd_of p fd in
   if writable && not f.Types.fd_writable then raise (E Types.EBADF);
   Vm.map_file sys p f.Types.vnode ~opened_gen:f.Types.opened_gen ~writable
     ~npages
 
 let mmap_anon (sys : Types.system) (p : Types.process) ~npages =
-  let c = cell_of sys p in
-  Gate.pass c;
+  enter sys p "mmap_anon" @@ fun c ->
   let leaf = Cow.create_root sys c () in
   Vm.map_anon sys p leaf ~npages
 
 let touch (sys : Types.system) (p : Types.process) ~vpage ~write =
-  Gate.pass (cell_of sys p);
-  ok (Vm.touch sys p ~vpage ~write)
+  enter sys p "touch" @@ fun _c -> ok (Vm.touch sys p ~vpage ~write)
 
 let write_word (sys : Types.system) (p : Types.process) ~vpage ~offset v =
-  Gate.pass (cell_of sys p);
+  enter sys p "write_word" @@ fun _c ->
   ok (Vm.write_word sys p ~vpage ~offset v)
 
 let read_word (sys : Types.system) (p : Types.process) ~vpage ~offset =
-  Gate.pass (cell_of sys p);
-  ok (Vm.read_word sys p ~vpage ~offset)
+  enter sys p "read_word" @@ fun _c -> ok (Vm.read_word sys p ~vpage ~offset)
 
 (* ---------- Processes ---------- *)
 
 let fork (sys : Types.system) (p : Types.process) ?on_cell ~name body =
-  ok (Process.fork sys p ?on_cell ~name body)
+  enter sys p "fork" @@ fun _c -> ok (Process.fork sys p ?on_cell ~name body)
 
 let exec (sys : Types.system) (p : Types.process) path =
-  ok (Process.exec sys p ~path)
+  enter sys p "exec" @@ fun _c -> ok (Process.exec sys p ~path)
 
 let wait = Process.wait
 
 let migrate (sys : Types.system) (p : Types.process) ~to_cell =
-  ok (Process.migrate sys p ~to_cell)
+  enter sys p "migrate" @@ fun _c -> ok (Process.migrate sys p ~to_cell)
 
 (* ---------- Signals and process groups ---------- *)
 
 let kill (sys : Types.system) (p : Types.process) ~pid signal =
-  Gate.pass (cell_of sys p);
-  ok (Signal.kill sys p ~pid signal)
+  enter sys p "kill" @@ fun _c -> ok (Signal.kill sys p ~pid signal)
 
 let killpg (sys : Types.system) (p : Types.process) ~pgid signal =
-  Gate.pass (cell_of sys p);
-  ok (Signal.kill_group sys p ~pgid signal)
+  enter sys p "killpg" @@ fun _c -> ok (Signal.kill_group sys p ~pgid signal)
 
 let signal_handle (p : Types.process) s f = Signal.handle p s f
 

@@ -26,7 +26,7 @@ val write : Types.system -> Types.process -> fd:int -> bytes -> int
 val pwrite :
   Types.system ->
   Types.process -> fd:int -> pos:int -> bytes -> int
-val seek : Types.process -> fd:int -> int -> unit
+val seek : Types.system -> Types.process -> fd:int -> int -> unit
 val close : Types.system -> Types.process -> fd:int -> unit
 val fsize : Types.system -> Types.process -> fd:int -> int
 val unlink : Types.system -> Types.process -> string -> unit

@@ -59,8 +59,22 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       on_hint = None;
       sys_counters = Sim.Stats.registry ();
       trace_faults = false;
+      events = Sim.Event.create eng;
+      rpc_client_ns = Hashtbl.create 32;
+      rpc_server_ns = Hashtbl.create 32;
+      recovery_timeline = [];
     }
   in
+  (* Surface hardware-level firewall traffic on the event bus (covers the
+     mass revocation of recovery, which bypasses the wild-write module). *)
+  Flash.Firewall.set_notify (Flash.Machine.firewall machine)
+    (fun ~pfn ~old_vec ~new_vec ->
+      Sim.Event.instant sys.Types.events
+        ~args:
+          [ ("pfn", Sim.Event.Int pfn);
+            ("old_vec", Sim.Event.I64 old_vec);
+            ("new_vec", Sim.Event.I64 new_vec) ]
+        ~cat:Sim.Event.Firewall "firewall.bits_changed");
   Failure.install sys;
   (* A kernel thread dying with an uncaught exception panics its own cell;
      anything unattributable is a simulator bug and aborts loudly. *)

@@ -249,6 +249,14 @@ type system = {
       (* installed by the failure-detection module at boot *)
   sys_counters : Sim.Stats.registry;
   mutable trace_faults : bool;
+  (* observability *)
+  events : Sim.Event.bus;
+  rpc_client_ns : (string, Sim.Stats.histogram) Hashtbl.t;
+      (* per-op whole-call latency seen by clients *)
+  rpc_server_ns : (string, Sim.Stats.histogram) Hashtbl.t;
+      (* per-op handler execution time on servers *)
+  mutable recovery_timeline : (string * int64) list;
+      (* (phase, time) markers from the most recent recovery, oldest first *)
 }
 
 let cell_of_node (sys : system) node =
@@ -273,3 +281,18 @@ let bump ?(by = 1) (c : cell) name = Sim.Stats.bump ~by c.counters name
 
 let sys_bump ?(by = 1) (sys : system) name =
   Sim.Stats.bump ~by sys.sys_counters name
+
+let hist_for (tbl : (string, Sim.Stats.histogram) Hashtbl.t) name =
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h = Sim.Stats.histogram () in
+    Hashtbl.replace tbl name h;
+    h
+
+(* Record a recovery-phase marker: appended to the timeline (kept in order)
+   and emitted on the event bus. *)
+let note_phase (sys : system) ?cell phase =
+  let t = Sim.Engine.now sys.eng in
+  sys.recovery_timeline <- sys.recovery_timeline @ [ (phase, t) ];
+  Sim.Event.instant sys.events ?cell ~cat:Sim.Event.Recovery phase

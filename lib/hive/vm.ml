@@ -13,7 +13,7 @@ type Types.payload +=
   | P_anon_locate of { node_id : int; page : int; writable : bool }
   | P_anon_page of { pfn : int }
 
-let anon_locate_op = "vm.anon_locate"
+let anon_locate_op = Rpc.Op.declare ~arg_bytes:32 "vm.anon_locate"
 
 let page_size (sys : Types.system) = sys.Types.mcfg.Flash.Config.page_size
 
@@ -132,7 +132,7 @@ let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
     | None -> Error Types.EFAULT
     | Some node_id -> (
       match
-        Rpc.call sys ~from:c ~target:owner ~op:anon_locate_op ~arg_bytes:32
+        Rpc.call sys ~from:c ~target:owner ~op:anon_locate_op
           (P_anon_locate { node_id; page; writable })
       with
       | Ok (P_anon_page { pfn }) ->

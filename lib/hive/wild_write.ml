@@ -13,7 +13,7 @@
 type Types.payload +=
   | P_fw of { pfn : int; target_cell : Types.cell_id; grant : bool }
 
-let firewall_rpc_op = "wild_write.fw_change"
+let firewall_rpc_op = Rpc.Op.declare "wild_write.fw_change"
 
 (* Apply a grant/revoke on a frame whose node is local to [c]. *)
 let apply_local (sys : Types.system) (c : Types.cell) ~pfn ~target_cell ~grant =
@@ -30,7 +30,13 @@ let apply_local (sys : Types.system) (c : Types.cell) ~pfn ~target_cell ~grant =
     (* Revoking write permission requires communication with remote nodes
        to ensure all valid writes have been delivered to memory. *)
     Sim.Engine.delay sys.Types.mcfg.Flash.Config.mem_ns;
-  Types.bump c "firewall.changes"
+  Types.bump c "firewall.changes";
+  Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
+    ~args:
+      [ ("pfn", Sim.Event.Int pfn);
+        ("target_cell", Sim.Event.Int target_cell) ]
+    ~cat:Sim.Event.Firewall
+    (if grant then "firewall.grant" else "firewall.revoke")
 
 let registered = ref false
 

@@ -12,7 +12,7 @@
 
 type Types.payload +=
     P_fw of { pfn : int; target_cell : Types.cell_id; grant : bool; }
-val firewall_rpc_op : string
+val firewall_rpc_op : Rpc.Op.t
 val apply_local :
   Types.system ->
   Types.cell ->

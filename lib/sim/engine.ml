@@ -53,6 +53,11 @@ let create () =
 
 let now eng = eng.now
 
+(* Tid of the thread the engine is currently executing, or 0 when called
+   from outside any simulation thread (boot code, sinks). *)
+let current_tid eng =
+  match eng.current with Some t -> t.tid | None -> 0
+
 let set_crash_handler eng f = eng.crash_handler <- f
 
 let schedule_at eng time act =

@@ -35,6 +35,10 @@ val create : unit -> t
 (** Current virtual time in nanoseconds. *)
 val now : t -> int64
 
+(** Tid of the thread the engine is currently executing, or 0 when called
+    from outside any simulation thread. *)
+val current_tid : t -> int
+
 (** Replace the handler invoked when a thread raises an uncaught exception.
     The default re-raises, aborting the simulation loudly. *)
 val set_crash_handler : t -> (thread -> exn -> unit) -> unit

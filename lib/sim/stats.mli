@@ -4,8 +4,9 @@
 (** Running summary of a series of observations. *)
 type summary
 
-(** [keep_samples] (default true) retains every observation so percentiles
-    can be computed; disable for very long runs. *)
+(** [keep_samples] (default true) retains a bounded reservoir of
+    observations so percentiles can be computed; memory stays fixed no
+    matter how many samples are added. Disable to skip the reservoir. *)
 val summary : ?keep_samples:bool -> unit -> summary
 
 val add : summary -> float -> unit
@@ -23,8 +24,37 @@ val min_value : summary -> float
 
 val max_value : summary -> float
 
-(** [percentile s 50.] is the median. Requires [keep_samples]. *)
+(** [percentile s 50.] is the median, estimated from the reservoir.
+    Requires [keep_samples]. The sorted view is cached between adds, so
+    repeated queries are cheap. *)
 val percentile : summary -> float -> float
+
+(** {2 Latency histograms}
+
+    A log-bucket histogram over nanosecond durations: fixed power-of-two
+    buckets for a compact exportable shape, plus an embedded reservoir
+    summary for accurate percentiles. *)
+
+type histogram
+
+val histogram : unit -> histogram
+
+val hist_add : histogram -> int64 -> unit
+
+val hist_count : histogram -> int
+
+val hist_mean : histogram -> float
+
+val hist_min : histogram -> float
+
+val hist_max : histogram -> float
+
+(** [hist_percentile h 99.] estimates p99 in nanoseconds. *)
+val hist_percentile : histogram -> float -> float
+
+(** Non-empty buckets as [(lo_ns, hi_ns, count)], ascending; bucket
+    [i > 0] covers durations in [[2^i, 2^(i+1))] ns. *)
+val hist_nonempty : histogram -> (int64 * int64 * int) list
 
 type counter
 

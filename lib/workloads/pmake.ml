@@ -185,7 +185,7 @@ let compile_job cfg i (sys : Hive.Types.system) (p : Hive.Types.process) =
   let i_data = Workload.derive_output ~input:src ~bytes:cfg.intermediate_bytes in
   let ifd = Hive.Syscall.creat sys p i_path in
   ignore (Hive.Syscall.write sys p ~fd:ifd i_data);
-  Hive.Syscall.seek p ~fd:ifd 0;
+  Hive.Syscall.seek sys p ~fd:ifd 0;
   let i_back = Hive.Syscall.read sys p ~fd:ifd ~len:cfg.intermediate_bytes in
   (* cc1 keeps the preprocessor output open through its front-end pass. *)
   sliced_compute (Int64.div cfg.cc1_ns 2L);
@@ -201,7 +201,7 @@ let compile_job cfg i (sys : Hive.Types.system) (p : Hive.Types.process) =
   (* as: /tmp/N.s -> /tmp/chessN.o; the object is derived from the source
      so corruption anywhere in the pipeline shows up in the output. *)
   sliced_compute cfg.as_ns;
-  Hive.Syscall.seek p ~fd:ofd 0;
+  Hive.Syscall.seek sys p ~fd:ofd 0;
   ignore
     (Hive.Syscall.write sys p ~fd:ofd
        (Workload.derive_output ~input:src ~bytes:cfg.obj_bytes));

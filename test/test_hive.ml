@@ -193,7 +193,7 @@ let test_rpc_timeout_reports_hint () =
             Hive.Panic.panic sys sys.Hive.Types.cells.(1) "test";
             let c0 = sys.Hive.Types.cells.(0) in
             match
-              Hive.Rpc.call sys ~from:c0 ~target:1 ~op:"agree.ping"
+              Hive.Rpc.call sys ~from:c0 ~target:1 ~op:Hive.Agreement.ping_op
                 ~timeout_ns:1_000_000L Hive.Types.P_unit
             with
             | Ok _ -> failwith "expected failure"

@@ -12,4 +12,5 @@ let () =
       ("sharing", Test_sharing.suite);
       ("ssi", Test_ssi.suite);
       ("workloads", Test_workloads.suite);
+      ("observability", Test_observability.suite);
     ]

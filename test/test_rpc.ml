@@ -1,19 +1,32 @@
 (* RPC subsystem tests: dispatch, queued service, error paths, costs. *)
 
+(* Op descriptors are declared once per process (module initialization). *)
+let echo_op = Hive.Rpc.Op.declare "test.echo"
+
+let queued_echo_op = Hive.Rpc.Op.declare "test.queued_echo"
+
+let fail_op = Hive.Rpc.Op.declare "test.fail"
+
+let raise_op = Hive.Rpc.Op.declare "test.raise"
+
+let slow_op = Hive.Rpc.Op.declare "test.slow"
+
+let nonexistent_op = Hive.Rpc.Op.declare "test.nonexistent"
+
 let registered = ref false
 
 let register () =
   if not !registered then begin
     registered := true;
-    Hive.Rpc.register "test.echo" (fun _sys _cell ~src:_ arg ->
+    Hive.Rpc.register echo_op (fun _sys _cell ~src:_ arg ->
         Hive.Types.Immediate (Ok arg));
-    Hive.Rpc.register "test.queued_echo" (fun _sys _cell ~src:_ arg ->
+    Hive.Rpc.register queued_echo_op (fun _sys _cell ~src:_ arg ->
         Hive.Types.Queued (fun () -> Ok arg));
-    Hive.Rpc.register "test.fail" (fun _sys _cell ~src:_ _arg ->
+    Hive.Rpc.register fail_op (fun _sys _cell ~src:_ _arg ->
         Hive.Types.Immediate (Error Hive.Types.EAGAIN));
-    Hive.Rpc.register "test.raise" (fun _sys _cell ~src:_ _arg ->
+    Hive.Rpc.register raise_op (fun _sys _cell ~src:_ _arg ->
         raise (Hive.Types.Syscall_error Hive.Types.EFAULT));
-    Hive.Rpc.register "test.slow" (fun sys _cell ~src:_ _arg ->
+    Hive.Rpc.register slow_op (fun sys _cell ~src:_ _arg ->
         Hive.Types.Queued
           (fun () ->
             ignore sys;
@@ -46,33 +59,33 @@ let call_from_thread eng sys ~op ?timeout_ns ?arg_bytes arg =
 
 let test_echo () =
   with_sys (fun eng sys ->
-      match call_from_thread eng sys ~op:"test.echo" (Hive.Types.P_int 42) with
+      match call_from_thread eng sys ~op:echo_op (Hive.Types.P_int 42) with
       | Ok (Hive.Types.P_int 42), _ -> ()
       | _ -> Alcotest.fail "echo failed")
 
 let test_queued_echo () =
   with_sys (fun eng sys ->
       match
-        call_from_thread eng sys ~op:"test.queued_echo" (Hive.Types.P_int 7)
+        call_from_thread eng sys ~op:queued_echo_op (Hive.Types.P_int 7)
       with
       | Ok (Hive.Types.P_int 7), _ -> ()
       | _ -> Alcotest.fail "queued echo failed")
 
 let test_error_propagates () =
   with_sys (fun eng sys ->
-      match call_from_thread eng sys ~op:"test.fail" Hive.Types.P_unit with
+      match call_from_thread eng sys ~op:fail_op Hive.Types.P_unit with
       | Error Hive.Types.EAGAIN, _ -> ()
       | _ -> Alcotest.fail "expected EAGAIN")
 
 let test_handler_exception_becomes_error () =
   with_sys (fun eng sys ->
-      match call_from_thread eng sys ~op:"test.raise" Hive.Types.P_unit with
+      match call_from_thread eng sys ~op:raise_op Hive.Types.P_unit with
       | Error Hive.Types.EFAULT, _ -> ()
       | _ -> Alcotest.fail "expected EFAULT")
 
 let test_unknown_op () =
   with_sys (fun eng sys ->
-      match call_from_thread eng sys ~op:"test.nonexistent" Hive.Types.P_unit with
+      match call_from_thread eng sys ~op:nonexistent_op Hive.Types.P_unit with
       | Error Hive.Types.EFAULT, _ -> ()
       | _ -> Alcotest.fail "expected EFAULT for unknown op")
 
@@ -80,7 +93,7 @@ let test_timeout_on_slow_op () =
   with_sys (fun eng sys ->
       (* 50 ms handler with a 5 ms timeout: the caller must give up. *)
       match
-        call_from_thread eng sys ~op:"test.slow" ~timeout_ns:5_000_000L
+        call_from_thread eng sys ~op:slow_op ~timeout_ns:5_000_000L
           Hive.Types.P_unit
       with
       | Error Hive.Types.EHOSTDOWN, _ -> ()
@@ -90,7 +103,7 @@ let test_known_dead_target_fast_fail () =
   with_sys (fun eng sys ->
       let c0 = sys.Hive.Types.cells.(0) in
       c0.Hive.Types.live_set <- [ 0 ];
-      match call_from_thread eng sys ~op:"test.echo" Hive.Types.P_unit with
+      match call_from_thread eng sys ~op:echo_op Hive.Types.P_unit with
       | Error Hive.Types.EHOSTDOWN, dur ->
         (* No timeout wait: the live-set check short-circuits. *)
         Alcotest.(check bool) "instant failure" true
@@ -101,7 +114,7 @@ let test_large_args_cost_more () =
   with_sys (fun eng sys ->
       let timed arg_bytes =
         match
-          call_from_thread eng sys ~op:"test.echo" ~arg_bytes
+          call_from_thread eng sys ~op:echo_op ~arg_bytes
             Hive.Types.P_unit
         with
         | Ok _, dur -> dur
@@ -120,7 +133,7 @@ let test_concurrent_calls () =
           (Sim.Engine.spawn eng (fun () ->
                match
                  Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
-                   ~op:"test.queued_echo" Hive.Types.P_unit
+                   ~op:queued_echo_op Hive.Types.P_unit
                with
                | Ok _ -> incr done_count
                | Error _ -> ()))
@@ -133,7 +146,7 @@ let test_duplicate_registration_rejected () =
   register ();
   Alcotest.check_raises "duplicate op"
     (Invalid_argument "Rpc.register: duplicate test.echo") (fun () ->
-      Hive.Rpc.register "test.echo" (fun _ _ ~src:_ _ ->
+      Hive.Rpc.register echo_op (fun _ _ ~src:_ _ ->
           Hive.Types.Immediate (Ok Hive.Types.P_unit)))
 
 let suite =
