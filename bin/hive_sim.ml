@@ -106,18 +106,44 @@ let run_sweep name =
 
 (* ---- fault command ---- *)
 
-let run_fault kind ncells node victim at_ms oracle trace_out metrics_json =
+let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
+    metrics_json =
   let eng, sys = boot ~ncells ~smp:false ~oracle in
   let trace_close = attach_trace sys trace_out in
   Workloads.Pmake.setup sys Workloads.Pmake.default;
   let t_inject = ref 0L in
   let rng = Sim.Prng.create 1 in
+  (* With --cascade-node, fail a second node while the first failure's
+     recovery round is in flight (between the two global barriers). *)
+  let inject_cascade () =
+    match cascade_node with
+    | None -> ()
+    | Some second ->
+      let past_barrier1 () =
+        sys.Hive.Types.recovery_round_active
+        && List.exists
+             (fun (phase, t) ->
+               phase = "recovery.barrier1" && Int64.compare t !t_inject >= 0)
+             sys.Hive.Types.recovery_timeline
+      in
+      let rec poll tries =
+        if tries > 0 && not (past_barrier1 ()) then begin
+          Sim.Engine.delay 100_000L;
+          poll (tries - 1)
+        end
+      in
+      poll 10_000;
+      Printf.printf "cascade: failing node %d mid-recovery\n" second;
+      Hive.System.inject_node_failure sys second
+  in
   ignore
     (Sim.Engine.spawn eng ~name:"injector" (fun () ->
          Sim.Engine.delay (Int64.of_int (at_ms * 1_000_000));
          t_inject := Sim.Engine.time ();
          match kind with
-         | "node" -> Hive.System.inject_node_failure sys node
+         | "node" ->
+           Hive.System.inject_node_failure sys node;
+           inject_cascade ()
          | "corrupt-cow" | "corrupt-map" ->
            let rec attempt tries =
              if tries > 0 then begin
@@ -147,6 +173,15 @@ let run_fault kind ncells node victim at_ms oracle trace_out metrics_json =
   | Some ns ->
     Printf.printf "detection latency: %.1f ms\n" (Int64.to_float ns /. 1e6)
   | None -> Printf.printf "no recovery round recorded\n");
+  (* Let the recovery master finish diagnostics and reintegration. *)
+  ignore
+    (Hive.System.run_until sys
+       ~deadline:(Int64.add (Sim.Engine.now eng) 2_000_000_000L)
+       (fun () -> not sys.Hive.Types.recovery_in_progress));
+  let sys_count name = Sim.Stats.value sys.Hive.Types.sys_counters name in
+  Printf.printf "recovery round restarts: %d\n"
+    (sys_count "recovery.round_restarts");
+  Printf.printf "cells reintegrated: %d\n" (sys_count "cell.reintegrations");
   Printf.printf "live cells: [%s]\n"
     (String.concat "; "
        (List.map string_of_int (Hive.System.live_cells sys)));
@@ -233,6 +268,16 @@ let at_ms_arg =
     value & opt int 300
     & info [ "at-ms" ] ~docv:"MS" ~doc:"Injection time in milliseconds.")
 
+let cascade_node_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cascade-node" ] ~docv:"N"
+        ~doc:
+          "With the node fault kind: fail a second node while the first \
+           failure's recovery round is in flight, forcing a round restart \
+           with the enlarged dead set.")
+
 let oracle_arg =
   Arg.(
     value & flag
@@ -245,7 +290,8 @@ let fault_cmd =
        ~doc:"Inject a fault during pmake and report containment.")
     Term.(
       const run_fault $ fault_kind $ cells_arg $ node_arg $ victim_arg
-      $ at_ms_arg $ oracle_arg $ trace_out_arg $ metrics_json_arg)
+      $ at_ms_arg $ cascade_node_arg $ oracle_arg $ trace_out_arg
+      $ metrics_json_arg)
 
 let main =
   Cmd.group

@@ -8,7 +8,11 @@
 
 let () =
   let eng = Sim.Engine.create () in
-  let sys = Hive.System.boot ~ncells:4 eng in
+  (* Maintenance chooses its own reintegration times, so turn off the
+     recovery master's automatic repair (otherwise the cell would already
+     be back up when the manual [reintegrate] call runs). *)
+  let params = { Hive.Params.default with Hive.Params.auto_reintegrate = false } in
+  let sys = Hive.System.boot ~params ~ncells:4 eng in
   let served = ref 0 in
 
   (* A continuous stream of small jobs lands on whatever cells are up. *)

@@ -318,3 +318,152 @@ let corrupt_cow_campaign ~tests =
              mode = modes.(i mod Array.length modes);
            }))
   |> summarize "corrupt pointer in copy-on-write tree (raytrace)"
+
+(* ---------- Cascading (nested) failures ---------- *)
+
+type cascade_outcome = {
+  c_first_node : int;
+  c_second_node : int;
+  c_deadlocked : bool;  (* recovery never completed before the deadline *)
+  c_restarted : bool;   (* the round restarted with the enlarged dead set *)
+  c_contained : bool;   (* every non-victim cell survived the episode *)
+  c_reintegrated : bool;
+      (* both victims rebooted by the master and back in all live sets *)
+  c_check_passed : bool;  (* pmake across the restored system verifies *)
+  c_detection_ms : float option;
+}
+
+(* Kill a second node while the first failure's recovery round is in
+   flight (between barrier 1 and barrier 2): the acid test for the
+   abortable-barrier / round-restart machinery. The survivors must abort
+   the round, restart it with the enlarged dead set, finish, and the
+   recovery master must then repair and reintegrate both victims. *)
+let run_cascade_test ?(seed = 1) ~first_node ~second_node ~at_ns () =
+  ignore seed;
+  let eng = Sim.Engine.create () in
+  let sys = Hive.System.boot ~ncells:4 ~wax:true eng in
+  Workloads.Pmake.setup sys Workloads.Pmake.default;
+  let t_first = ref 0L in
+  ignore
+    (Sim.Engine.spawn eng ~name:"cascade-injector" (fun () ->
+         Sim.Engine.delay at_ns;
+         t_first := Sim.Engine.time ();
+         Hive.System.inject_node_failure sys first_node;
+         (* Poll until the round is past barrier 1 (the window stays open
+            through barrier 2 and the master's diagnostics), then fail the
+            second node mid-round. *)
+         let past_barrier1 () =
+           sys.Hive.Types.recovery_round_active
+           && List.exists
+                (fun (phase, t) ->
+                  phase = "recovery.barrier1"
+                  && Int64.compare t !t_first >= 0)
+                sys.Hive.Types.recovery_timeline
+         in
+         let rec poll tries =
+           if tries > 0 && not (past_barrier1 ()) then begin
+             Sim.Engine.delay 100_000L;
+             poll (tries - 1)
+           end
+         in
+         poll 10_000;
+         Hive.System.inject_node_failure sys second_node));
+  let result, _ = Workloads.Pmake.run sys in
+  ignore result;
+  let recovery_done =
+    Hive.System.run_until sys
+      ~deadline:(Int64.add (Sim.Engine.now eng) 5_000_000_000L)
+      (fun () ->
+        (not sys.Hive.Types.recovery_in_progress)
+        && sys.Hive.Types.recovery_events <> [])
+  in
+  let first_cell =
+    (Hive.Types.cell_of_node sys first_node).Hive.Types.cell_id
+  in
+  let second_cell =
+    (Hive.Types.cell_of_node sys second_node).Hive.Types.cell_id
+  in
+  let contained =
+    Array.for_all
+      (fun (c : Hive.Types.cell) ->
+        c.Hive.Types.cell_id = first_cell
+        || c.Hive.Types.cell_id = second_cell
+        || Hive.Types.cell_alive c)
+      sys.Hive.Types.cells
+  in
+  let both_back =
+    Hive.System.run_until sys
+      ~deadline:(Int64.add (Sim.Engine.now eng) 3_000_000_000L)
+      (fun () ->
+        Hive.Types.cell_alive sys.Hive.Types.cells.(first_cell)
+        && Hive.Types.cell_alive sys.Hive.Types.cells.(second_cell))
+  in
+  let reintegrated =
+    both_back
+    && Sim.Stats.value sys.Hive.Types.sys_counters "cell.reintegrations" >= 2
+    && Array.for_all
+         (fun (c : Hive.Types.cell) ->
+           (not (Hive.Types.cell_alive c))
+           || List.mem first_cell c.Hive.Types.live_set
+              && List.mem second_cell c.Hive.Types.live_set)
+         sys.Hive.Types.cells
+  in
+  let check_result, _ = Workloads.Pmake.run sys in
+  let verify_ok =
+    List.for_all
+      (fun (_, v) -> v <> Workloads.Workload.Corrupt)
+      (Workloads.Pmake.verify sys)
+  in
+  {
+    c_first_node = first_node;
+    c_second_node = second_node;
+    c_deadlocked = not recovery_done;
+    c_restarted =
+      Sim.Stats.value sys.Hive.Types.sys_counters "recovery.round_restarts"
+      >= 1;
+    c_contained = contained;
+    c_reintegrated = reintegrated;
+    c_check_passed = check_result.Workloads.Workload.completed && verify_ok;
+    c_detection_ms =
+      (match Hive.System.detection_latency_ns sys ~t_fault:!t_first with
+      | Some ns -> Some (Int64.to_float ns /. 1e6)
+      | None -> None);
+  }
+
+let cascade_passed o =
+  (not o.c_deadlocked) && o.c_restarted && o.c_contained && o.c_reintegrated
+  && o.c_check_passed
+
+let cascade_campaign ~tests =
+  let outcomes =
+    List.init tests (fun i ->
+        run_cascade_test ~seed:(600 + i)
+          ~first_node:(1 + (i mod 3))
+          ~second_node:(1 + ((i + 1) mod 3))
+          ~at_ns:(Int64.of_int (60_000_000 * (i + 1)))
+          ())
+  in
+  let det = List.filter_map (fun o -> o.c_detection_ms) outcomes in
+  let avg xs =
+    if xs = [] then 0.
+    else List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  {
+    label = "second node failure during recovery (pmake)";
+    tests = List.length outcomes;
+    all_contained = List.for_all cascade_passed outcomes;
+    avg_detect_ms = avg det;
+    max_detect_ms = List.fold_left max 0. det;
+    avg_recovery_ms = 0.;
+    failures =
+      List.concat_map
+        (fun o ->
+          if cascade_passed o then []
+          else
+            [ Printf.sprintf
+                "nodes %d+%d: deadlock=%b restarted=%b contained=%b \
+                 reintegrated=%b check=%b"
+                o.c_first_node o.c_second_node o.c_deadlocked o.c_restarted
+                o.c_contained o.c_reintegrated o.c_check_passed ])
+        outcomes;
+  }

@@ -63,3 +63,29 @@ val node_failure_during_cow : tests:int -> campaign_row
 val node_failure_random : tests:int -> campaign_row
 val corrupt_map_campaign : tests:int -> campaign_row
 val corrupt_cow_campaign : tests:int -> campaign_row
+
+(** Cascading (nested) failures: a second node killed while the first
+    failure's recovery round is in flight, between the two global
+    barriers. Exercises the abortable-barrier / round-restart machinery
+    and the master's automatic reintegration of both victims. *)
+
+type cascade_outcome = {
+  c_first_node : int;
+  c_second_node : int;
+  c_deadlocked : bool;
+  c_restarted : bool;
+  c_contained : bool;
+  c_reintegrated : bool;
+  c_check_passed : bool;
+  c_detection_ms : float option;
+}
+
+val run_cascade_test :
+  ?seed:int ->
+  first_node:int -> second_node:int -> at_ns:int64 -> unit -> cascade_outcome
+
+(** No deadlock, the round restarted, the fault stayed contained, both
+    victims were reintegrated, and the post-episode pmake check passed. *)
+val cascade_passed : cascade_outcome -> bool
+
+val cascade_campaign : tests:int -> campaign_row

@@ -51,6 +51,19 @@ let small =
 
 let with_nodes cfg n = { cfg with nodes = n }
 
+(* One processor per node means the 64-bit firewall permission vector caps
+   the machine at 64 nodes; beyond that [Firewall.bit_of_proc] would
+   silently alias processor 64 onto processor 0 and grant/revoke the wrong
+   bits. Reject such configurations up front. *)
+let validate cfg =
+  if cfg.nodes < 1 then invalid_arg "Flash.Config: need at least one node";
+  if cfg.nodes > 64 then
+    invalid_arg
+      "Flash.Config: at most 64 nodes (the firewall permission vector is \
+       one 64-bit word per page)";
+  if cfg.mem_pages_per_node < 1 then
+    invalid_arg "Flash.Config: need at least one memory page per node"
+
 let total_pages cfg = cfg.nodes * cfg.mem_pages_per_node
 
 let mem_bytes_per_node cfg = cfg.mem_pages_per_node * cfg.page_size

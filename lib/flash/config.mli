@@ -38,6 +38,13 @@ val small : t
 
 val with_nodes : t -> int -> t
 
+(** Reject configurations the hardware cannot represent: more than 64
+    nodes would overflow the per-page 64-bit firewall permission vector
+    (write permission would silently alias across processors). Raises
+    [Invalid_argument]. Called by [Machine.create] and
+    [Firewall.create]. *)
+val validate : t -> unit
+
 val total_pages : t -> int
 
 val mem_bytes_per_node : t -> int

@@ -9,6 +9,10 @@ type t = {
 }
 
 let create cfg =
+  (* The permission vector is a single 64-bit word per page: a config with
+     more than 64 processors cannot be represented (bit_of_proc would
+     alias) and is rejected rather than silently mis-protected. *)
+  Config.validate cfg;
   {
     cfg;
     bits = Array.init cfg.Config.nodes (fun _ -> Array.make cfg.Config.mem_pages_per_node 0L);
@@ -74,6 +78,18 @@ let remote_writable_pages t ~node =
     ignore base
   done;
   !count
+
+let proc_mask procs =
+  List.fold_left (fun acc p -> Int64.logor acc (bit_of_proc p)) 0L procs
+
+let pages_writable_by_mask t ~node ~mask =
+  let cfg = t.cfg in
+  let base = Addr.first_pfn_of_node cfg node in
+  let acc = ref [] in
+  for i = cfg.Config.mem_pages_per_node - 1 downto 0 do
+    if Int64.logand t.bits.(node).(i) mask <> 0L then acc := (base + i) :: !acc
+  done;
+  !acc
 
 let writable_by t ~proc =
   let cfg = t.cfg in

@@ -11,7 +11,17 @@ exception Not_local_processor
 
 type t
 
+(** Raises [Invalid_argument] (via {!Config.validate}) when the
+    configuration has more than 64 nodes: the permission vector is one
+    64-bit word per page, so larger configs would silently alias write
+    permission across processors. *)
 val create : Config.t -> t
+
+(** The permission-vector bit of a processor. *)
+val bit_of_proc : int -> int64
+
+(** Combined permission-vector mask of a set of processors. *)
+val proc_mask : int list -> int64
 
 (** The raw 64-bit permission vector of a page. *)
 val vector : t -> pfn:Addr.pfn -> int64
@@ -41,9 +51,14 @@ val clear : t -> by:int -> pfn:Addr.pfn -> unit
     (the paper's Section 4.2 firewall statistic). *)
 val remote_writable_pages : t -> node:int -> int
 
-(** Every pfn (machine-wide) writable by [proc]; used by preemptive
-    discard. *)
+(** Every pfn (machine-wide) writable by [proc]. Costs a full-machine
+    scan; preemptive discard uses {!pages_writable_by_mask} instead. *)
 val writable_by : t -> proc:int -> Addr.pfn list
+
+(** [node]'s pfns whose permission vector intersects [mask], in ascending
+    order. One pass over a single node's vectors; used by preemptive
+    discard with the combined mask of all dead processors. *)
+val pages_writable_by_mask : t -> node:int -> mask:int64 -> Addr.pfn list
 
 (** Total number of firewall status changes so far (performance statistic). *)
 val change_count : t -> int

@@ -15,6 +15,7 @@ type t = {
 }
 
 let create eng cfg =
+  Config.validate cfg;
   {
     cfg;
     eng;

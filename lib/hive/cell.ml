@@ -49,6 +49,7 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     alert_votes = [];
     false_alerts = [];
     in_recovery = false;
+    recovery_active = false;
     recovery_barrier_joined = (0, 0);
     alloc_preference = [];
     clock_hand_targets = [];

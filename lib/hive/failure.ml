@@ -4,14 +4,42 @@
    access to its memory causes a bus error; its published clock word stops
    incrementing; or data read from its memory fails the consistency checks
    of the careful reference protocol. A hint triggers distributed
-   agreement immediately; confirmation is required before recovery. *)
+   agreement immediately; confirmation is required before recovery.
+
+   Hints that arrive while a recovery round is already in flight cannot run
+   agreement (gates are closed, the peers are busy in the round), but they
+   must not be dropped either: a hint against a participant that has
+   observably stopped is exactly how a *nested* failure is detected, and
+   escalates into a round restart with the enlarged dead set. *)
+
+let observably_down (sys : Types.system) suspect =
+  let c = sys.Types.cells.(suspect) in
+  c.Types.cstatus <> Types.Cell_up
+  || List.exists
+       (fun n -> not (Flash.Machine.node_alive sys.Types.machine n))
+       c.Types.cell_nodes
 
 let handle_hint (sys : Types.system) (reporter : Types.cell) ~suspect ~reason =
-  if
-    Types.cell_alive reporter
-    && (not reporter.Types.in_recovery)
+  if not (Types.cell_alive reporter) || suspect = reporter.Types.cell_id then ()
+  else if sys.Types.recovery_in_progress then begin
+    (* Mid-recovery hint: per-phase RPC timeouts and clock monitoring keep
+       firing while a round runs. Escalate only when the suspect is a
+       participant that has demonstrably stopped; [Recovery.cell_died]
+       dedups against the confirmed dead set and restarts the round. *)
+    if
+      List.mem suspect reporter.Types.live_set
+      && observably_down sys suspect
+    then begin
+      Types.bump reporter "failure.hints_during_recovery";
+      Sim.Trace.info sys.Types.eng
+        "cell %d suspects cell %d during recovery (%s)"
+        reporter.Types.cell_id suspect reason;
+      Recovery.cell_died sys suspect
+    end
+  end
+  else if
+    (not reporter.Types.in_recovery)
     && List.mem suspect reporter.Types.live_set
-    && suspect <> reporter.Types.cell_id
     && not (List.mem suspect reporter.Types.suspected)
   then begin
     reporter.Types.suspected <- suspect :: reporter.Types.suspected;
@@ -30,4 +58,8 @@ let handle_hint (sys : Types.system) (reporter : Types.cell) ~suspect ~reason =
   end
 
 let install (sys : Types.system) =
-  sys.Types.on_hint <- Some (handle_hint sys)
+  sys.Types.on_hint <- Some (handle_hint sys);
+  (* Panics (and hardware fail-stops, via System's node-failure handler)
+     report synchronously so an in-flight recovery round restarts instead
+     of deadlocking on the dead participant's barrier slot. *)
+  sys.Types.on_cell_death <- Some (fun id -> Recovery.cell_died sys id)

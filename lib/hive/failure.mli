@@ -4,7 +4,15 @@
    access to its memory causes a bus error; its published clock word stops
    incrementing; or data read from its memory fails the consistency checks
    of the careful reference protocol. A hint triggers distributed
-   agreement immediately; confirmation is required before recovery. *)
+   agreement immediately; confirmation is required before recovery.
+
+   During an in-flight recovery round, hints against participants that have
+   observably stopped escalate into a round restart ({!Recovery.cell_died})
+   instead of running agreement. *)
+
+(** Is the suspect's kernel stopped or its hardware failed? Used to decide
+    whether a mid-recovery hint is a nested failure. *)
+val observably_down : Types.system -> Types.cell_id -> bool
 
 val handle_hint :
   Types.system ->

@@ -27,7 +27,13 @@ let panic (sys : Types.system) (c : Types.cell) reason =
           p.Types.killed_by_failure <- true;
           Sim.Engine.kill sys.Types.eng t
         | _ -> ())
-      c.Types.processes
+      c.Types.processes;
+    (* Tell the failure machinery: if a recovery round is in flight and
+       this cell was a participant, the round must restart rather than
+       deadlock on a barrier party that will never arrive. *)
+    match sys.Types.on_cell_death with
+    | Some f -> f c.Types.cell_id
+    | None -> ()
   end
 
 exception Kernel_corruption of string

@@ -50,6 +50,13 @@ type t = {
   (* Recovery *)
   enable_preemptive_discard : bool;
       (* ablation knob: turn off the wild-write defense's discard step *)
+  auto_reintegrate : bool;
+      (* recovery master reboots and reintegrates the failed cells once
+         their hardware diagnostics pass (off = leave them down, as the
+         paper's prototype did) *)
+  max_refault_retries : int;
+      (* bound on firewall-denied refault retries before a write gives up
+         with EFAULT (a persistent denial would otherwise livelock) *)
   recovery_scan_page_ns : int64;
   recovery_phase_ns : int64;
   agreement_vote_ns : int64;
@@ -95,6 +102,8 @@ let default =
     exit_ns = 300_000L;
     context_switch_ns = 10_000L;
     enable_preemptive_discard = true;
+    auto_reintegrate = true;
+    max_refault_retries = 3;
     recovery_scan_page_ns = 400L;
     recovery_phase_ns = 14_000_000L;
     agreement_vote_ns = 50_000L;

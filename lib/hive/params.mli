@@ -42,6 +42,8 @@ type t = {
   exit_ns : int64;
   context_switch_ns : int64;
   enable_preemptive_discard : bool;
+  auto_reintegrate : bool;
+  max_refault_retries : int;
   recovery_scan_page_ns : int64;
   recovery_phase_ns : int64;
   agreement_vote_ns : int64;

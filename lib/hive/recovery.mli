@@ -12,20 +12,36 @@
      lost dirty pages), and cleans its VM structures;
    - after barrier 2, cells resume normal operation.
 
-   At the end of a round a recovery master is elected from the new live
-   set; it runs hardware diagnostics on the failed nodes and (if they
-   pass) can reboot and reintegrate the failed cells. *)
+   Recovery is itself fault-tolerant: if a participant dies mid-round the
+   barriers are aborted and the surviving cells restart the round with the
+   enlarged dead set ({!cell_died}). At the end of a round the recovery
+   master (lowest live cell id) runs hardware diagnostics on the failed
+   nodes and, when [Params.auto_reintegrate] is set, reboots and
+   reintegrates them through the hook installed by [System.boot]. *)
 
 type Types.payload +=
     P_recovery_start of { dead : Types.cell_id list; }
 val start_op : Rpc.Op.t
 val diagnostics_ns : int64
-val recovery_sequence :
-  Types.system ->
-  Types.cell -> dead:Types.cell_id list -> unit
-val start_recovery_thread :
-  Types.system ->
-  Types.cell -> dead:Types.cell_id list -> unit
+
+(** Run the per-cell recovery round loop (in the calling thread) until a
+    round completes that is still the current one. *)
+val recovery_sequence : Types.system -> Types.cell -> unit
+
+(** Spawn [recovery_sequence] in a fresh kernel thread of the cell and mark
+    the cell as an active participant. *)
+val start_recovery_thread : Types.system -> Types.cell -> unit
+
+(** Start a recovery round for the confirmed dead set: force still-running
+    "dead" cells to stop, create the round barriers, and start a recovery
+    thread on every live participant. *)
 val initiate : Types.system -> dead:Types.cell_id list -> unit
+
+(** Notify recovery that a cell has died. A no-op unless a round is in
+    flight and the cell was a participant, in which case the round restarts
+    with the enlarged dead set (abortable barriers guarantee no survivor is
+    left waiting on the dead participant). *)
+val cell_died : Types.system -> Types.cell_id -> unit
+
 val registered : bool ref
 val register_handlers : unit -> unit

@@ -20,6 +20,54 @@ let register_all_handlers () =
 
 let boot_horizon_ns = 5_000_000L
 
+(* Reboot and reintegrate a failed cell after its nodes are repaired (the
+   paper left this unimplemented but "straightforward": the recovery
+   master reboots cells whose hardware diagnostics pass). The cell's disk
+   contents survive the reboot; its memory, page cache and kernel state
+   start fresh; the other cells add it back to their live sets. Driven
+   automatically by the recovery master when [Params.auto_reintegrate] is
+   set, and still callable manually (e.g. for rolling maintenance). *)
+let reintegrate (sys : Types.system) cell_id =
+  let c = sys.Types.cells.(cell_id) in
+  if c.Types.cstatus <> Types.Cell_down then
+    invalid_arg "reintegrate: cell is not down";
+  (* Repair the hardware: memory zeroed, processor restarted. *)
+  List.iter (Flash.Machine.restore_node sys.Types.machine) c.Types.cell_nodes;
+  (* Fresh kernel state; files (and their stable disk contents) survive,
+     but the page cache does not. *)
+  Hashtbl.reset c.Types.page_hash;
+  Hashtbl.reset c.Types.frames;
+  c.Types.free_frames <- [];
+  c.Types.reserved_loans <- [];
+  Hashtbl.iter
+    (fun _ (f : Types.file) -> Hashtbl.reset f.Types.cached_pages)
+    c.Types.files;
+  c.Types.kmem.Types.kmem_next <- c.Types.kmem.Types.kmem_base + 128;
+  c.Types.kmem.Types.kmem_free <- [];
+  c.Types.processes <- [];
+  c.Types.user_gate_open <- true;
+  c.Types.gate_waiters <- [];
+  Hashtbl.reset c.Types.pending_calls;
+  c.Types.suspected <- [];
+  c.Types.false_alerts <- [];
+  c.Types.in_recovery <- false;
+  c.Types.recovery_active <- false;
+  c.Types.kernel_threads <- [];
+  c.Types.cstatus <- Types.Cell_up;
+  Types.sys_bump sys "cell.reintegrations";
+  (* The other cells learn about the reintegration. *)
+  Array.iter
+    (fun (o : Types.cell) ->
+      if Types.cell_alive o && not (List.mem cell_id o.Types.live_set) then
+        o.Types.live_set <- cell_id :: o.Types.live_set)
+    sys.Types.cells;
+  ignore
+    (Sim.Engine.spawn sys.Types.eng
+       ~name:(Printf.sprintf "cell%d.reboot" cell_id)
+       (fun () ->
+         Cell.boot sys c;
+         match sys.Types.wax_restart with Some f -> f sys | None -> ()))
+
 let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
     ?(ncells = mcfg.Flash.Config.nodes) ?(multicellular = true)
     ?(oracle = false) ?(wax = true) (eng : Sim.Engine.t) =
@@ -53,6 +101,11 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       recovery_complete_at = 0L;
       recovery_barrier1 = None;
       recovery_barrier2 = None;
+      recovery_dead = [];
+      recovery_round = 0;
+      recovery_round_active = false;
+      on_cell_death = None;
+      reintegrate_fn = None;
       wax_restart = None;
       wax_threads = [];
       wax_incarnation = 0;
@@ -76,6 +129,7 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
             ("new_vec", Sim.Event.I64 new_vec) ]
         ~cat:Sim.Event.Firewall "firewall.bits_changed");
   Failure.install sys;
+  sys.Types.reintegrate_fn <- Some (fun id -> reintegrate sys id);
   (* A kernel thread dying with an uncaught exception panics its own cell;
      anything unattributable is a simulator bug and aborts loudly. *)
   Sim.Engine.set_crash_handler eng (fun thr e ->
@@ -117,7 +171,11 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
               p.Types.killed_by_failure <- true;
               Sim.Engine.kill eng t
             | _ -> ())
-          c.Types.processes
+          c.Types.processes;
+        (* A participant dying mid-round must restart the recovery round. *)
+        match sys.Types.on_cell_death with
+        | Some f -> f c.Types.cell_id
+        | None -> ()
       end);
   (* Boot every cell, then let the boot threads run to completion. *)
   Array.iter
@@ -201,51 +259,6 @@ let corrupt_address_map (sys : Types.system) (p : Types.process) mode rng =
       Types.sys_bump sys "inject.map_corruptions";
       true
     | Types.File_region _ -> false)
-
-(* Reboot and reintegrate a failed cell after its nodes are repaired (the
-   paper left this unimplemented but "straightforward": the recovery
-   master reboots cells whose hardware diagnostics pass). The cell's disk
-   contents survive the reboot; its memory, page cache and kernel state
-   start fresh; the other cells add it back to their live sets. *)
-let reintegrate (sys : Types.system) cell_id =
-  let c = sys.Types.cells.(cell_id) in
-  if c.Types.cstatus <> Types.Cell_down then
-    invalid_arg "reintegrate: cell is not down";
-  (* Repair the hardware: memory zeroed, processor restarted. *)
-  List.iter (Flash.Machine.restore_node sys.Types.machine) c.Types.cell_nodes;
-  (* Fresh kernel state; files (and their stable disk contents) survive,
-     but the page cache does not. *)
-  Hashtbl.reset c.Types.page_hash;
-  Hashtbl.reset c.Types.frames;
-  c.Types.free_frames <- [];
-  c.Types.reserved_loans <- [];
-  Hashtbl.iter
-    (fun _ (f : Types.file) -> Hashtbl.reset f.Types.cached_pages)
-    c.Types.files;
-  c.Types.kmem.Types.kmem_next <- c.Types.kmem.Types.kmem_base + 128;
-  c.Types.kmem.Types.kmem_free <- [];
-  c.Types.processes <- [];
-  c.Types.user_gate_open <- true;
-  c.Types.gate_waiters <- [];
-  Hashtbl.reset c.Types.pending_calls;
-  c.Types.suspected <- [];
-  c.Types.false_alerts <- [];
-  c.Types.in_recovery <- false;
-  c.Types.kernel_threads <- [];
-  c.Types.cstatus <- Types.Cell_up;
-  Types.sys_bump sys "cell.reintegrations";
-  (* The other cells learn about the reintegration. *)
-  Array.iter
-    (fun (o : Types.cell) ->
-      if Types.cell_alive o && not (List.mem cell_id o.Types.live_set) then
-        o.Types.live_set <- cell_id :: o.Types.live_set)
-    sys.Types.cells;
-  ignore
-    (Sim.Engine.spawn sys.Types.eng
-       ~name:(Printf.sprintf "cell%d.reboot" cell_id)
-       (fun () ->
-         Cell.boot sys c;
-         match sys.Types.wax_restart with Some f -> f sys | None -> ()))
 
 (* ---------- Running and measuring ---------- *)
 

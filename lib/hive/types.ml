@@ -212,7 +212,11 @@ type cell = {
   mutable alert_votes : (cell_id * cell_id) list; (* accuser, suspect *)
   mutable false_alerts : (cell_id * int) list; (* accuser -> vote-downs *)
   mutable in_recovery : bool;
-  mutable recovery_barrier_joined : int * int; (* diagnostics *)
+  mutable recovery_active : bool;
+      (* a recovery thread for this cell exists (set at spawn, cleared when
+         the thread leaves its round loop); lets a nested-failure restart
+         know whether to re-spawn or rely on the barrier abort *)
+  mutable recovery_barrier_joined : int * int; (* (round, barrier) joined *)
   (* wax hints *)
   mutable alloc_preference : cell_id list;
   mutable clock_hand_targets : cell_id list; (* cells under memory pressure *)
@@ -242,6 +246,20 @@ type system = {
   mutable recovery_complete_at : int64;
   mutable recovery_barrier1 : Sim.Barrier.t option;
   mutable recovery_barrier2 : Sim.Barrier.t option;
+  (* Cascading-failure state: the current round's confirmed dead set, a
+     round counter bumped on initiation and on every nested-failure
+     restart, and whether a double-barrier round is actually in flight
+     (recovery_in_progress also covers the agreement phase before a round
+     and the master's diagnostics after it). *)
+  mutable recovery_dead : cell_id list;
+  mutable recovery_round : int;
+  mutable recovery_round_active : bool;
+  mutable on_cell_death : (cell_id -> unit) option;
+      (* panic/hardware-failure hook: lets an in-flight recovery round
+         restart with an enlarged dead set when a participant dies *)
+  mutable reintegrate_fn : (cell_id -> unit) option;
+      (* installed by System at boot; the recovery master drives it after
+         diagnostics pass to reboot and reintegrate repaired cells *)
   mutable wax_restart : (system -> unit) option;
   mutable wax_threads : Sim.Engine.thread list;
   mutable wax_incarnation : int;

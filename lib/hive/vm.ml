@@ -126,7 +126,17 @@ let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
               (Careful_ref.read_field ctx ~addr:r.Types.cow_addr ~index:0))
       with
       | Ok id -> Some id
-      | Error _ -> None
+      | Error reason ->
+        (* A defended careful-reference failure is a failure hint
+           (Table 4.1), exactly like [Cow.Defended] in [fault]: report it
+           so agreement can run on the owner, instead of silently
+           returning EFAULT and leaving a corrupt cell unsuspected. *)
+        Types.bump c "vm.anon_careful_failures";
+        (match sys.Types.on_hint with
+        | Some f ->
+          f c ~suspect:owner ~reason:(Careful_ref.reason_to_string reason)
+        | None -> ());
+        None
     in
     match node_id with
     | None -> Error Types.EFAULT
@@ -291,20 +301,30 @@ let touch (sys : Types.system) (p : Types.process) ~vpage ~write =
 
 (* Read/write actual memory words through a virtual page, exercising the
    hardware firewall on the real frame. *)
-let rec write_word (sys : Types.system) (p : Types.process) ~vpage ~offset v =
-  match touch sys p ~vpage ~write:true with
-  | Error e -> Error e
-  | Ok () -> (
-    let m = Hashtbl.find p.Types.mappings vpage in
-    let addr = frame_addr sys m.Types.map_pf.Types.pfn + offset in
-    let c = cell_of sys p in
-    match Flash.Memory.write_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr v with
-    | () -> Ok ()
-    | exception Flash.Memory.Bus_error { cause = Flash.Memory.Firewall_denied; _ } ->
-      (* Permission revoked since mapping (e.g. post-recovery): refault. *)
-      Hashtbl.remove p.Types.mappings vpage;
-      write_word sys p ~vpage ~offset v
-    | exception Flash.Memory.Bus_error _ -> Error Types.EFAULT)
+let write_word (sys : Types.system) (p : Types.process) ~vpage ~offset v =
+  let max_retries = sys.Types.params.Params.max_refault_retries in
+  let rec go retries =
+    match touch sys p ~vpage ~write:true with
+    | Error e -> Error e
+    | Ok () -> (
+      let m = Hashtbl.find p.Types.mappings vpage in
+      let addr = frame_addr sys m.Types.map_pf.Types.pfn + offset in
+      let c = cell_of sys p in
+      match Flash.Memory.write_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr v with
+      | () -> Ok ()
+      | exception Flash.Memory.Bus_error { cause = Flash.Memory.Firewall_denied; _ } ->
+        (* Permission revoked since mapping (e.g. post-recovery): refault.
+           Bounded, because the refault can hand back the same frame
+           without restoring write permission (a home that revoked the
+           grant but still serves the binding): unbounded recursion here
+           is a livelock inside a syscall. *)
+        Hashtbl.remove p.Types.mappings vpage;
+        Types.bump c "vm.refault_retries";
+        if retries >= max_retries then Error Types.EFAULT
+        else go (retries + 1)
+      | exception Flash.Memory.Bus_error _ -> Error Types.EFAULT)
+  in
+  go 0
 
 let read_word (sys : Types.system) (p : Types.process) ~vpage ~offset =
   match touch sys p ~vpage ~write:false with
@@ -373,15 +393,20 @@ let preemptive_discard (sys : Types.system) (c : Types.cell) ~dead =
   let p = sys.Types.params in
   let fwall = Flash.Machine.firewall sys.Types.machine in
   let discarded = ref 0 in
-  (* Find local frames writable by any dead cell's processors. *)
-  let dead_procs =
-    List.concat_map (fun d -> sys.Types.cells.(d).Types.cell_nodes) dead
+  (* Find local frames writable by any dead cell's processors: one pass
+     over this cell's own nodes' permission vectors with a combined mask
+     of all dead processors, instead of one machine-wide scan per dead
+     processor — the scan cost depends on the survivor's own memory size,
+     not on (dead processors x machine size). *)
+  let dead_mask =
+    Flash.Firewall.proc_mask
+      (List.concat_map (fun d -> sys.Types.cells.(d).Types.cell_nodes) dead)
   in
   let victim_pfns =
-    List.concat_map (fun proc -> Flash.Firewall.writable_by fwall ~proc) dead_procs
-    |> List.sort_uniq compare
-    |> List.filter (fun pfn ->
-           List.mem (Flash.Addr.node_of_pfn sys.Types.mcfg pfn) c.Types.cell_nodes)
+    List.concat_map
+      (fun node ->
+        Flash.Firewall.pages_writable_by_mask fwall ~node ~mask:dead_mask)
+      c.Types.cell_nodes
   in
   List.iter
     (fun pfn ->

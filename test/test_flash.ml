@@ -51,6 +51,47 @@ let test_firewall_grant_revoke () =
   Alcotest.(check int) "no longer remotely writable" 0
     (Flash.Firewall.remote_writable_pages fw ~node:1)
 
+let test_config_rejects_over_64_nodes () =
+  (* The firewall permission vector is one 64-bit word per page: a config
+     with more than 64 processors used to alias bit_of_proc silently
+     (proc land 63), granting the wrong processors write access. *)
+  let too_big = { cfg with Flash.Config.nodes = 65 } in
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument for a 65-node config"
+  in
+  expect_invalid (fun () -> Flash.Firewall.create too_big);
+  expect_invalid (fun () ->
+      Flash.Machine.create (Sim.Engine.create ()) too_big);
+  (* 64 nodes is still representable. *)
+  let max_cfg =
+    { cfg with Flash.Config.nodes = 64; mem_pages_per_node = 8 }
+  in
+  ignore (Flash.Firewall.create max_cfg)
+
+let test_firewall_pages_writable_by_mask () =
+  let fw = Flash.Firewall.create cfg in
+  Flash.Firewall.grant fw ~by:1 ~pfn:remote_pfn ~proc:0;
+  Flash.Firewall.grant fw ~by:1 ~pfn:(remote_pfn + 5) ~proc:0;
+  Flash.Firewall.grant fw ~by:0 ~pfn:3 ~proc:1;
+  let mask = Flash.Firewall.proc_mask [ 0 ] in
+  Alcotest.(check (list int)) "masked scan of node 1"
+    [ remote_pfn; remote_pfn + 5 ]
+    (Flash.Firewall.pages_writable_by_mask fw ~node:1 ~mask);
+  (* Node 0's own-processor bits don't match a mask of other procs. *)
+  Alcotest.(check (list int)) "node 0 has no pages writable by proc 0" []
+    (Flash.Firewall.pages_writable_by_mask fw ~node:0 ~mask);
+  Alcotest.(check (list int)) "combined mask matches per-proc scans"
+    (Flash.Firewall.writable_by fw ~proc:0
+    @ Flash.Firewall.writable_by fw ~proc:1
+    |> List.sort_uniq compare)
+    (List.concat_map
+       (fun node ->
+         Flash.Firewall.pages_writable_by_mask fw ~node
+           ~mask:(Flash.Firewall.proc_mask [ 0; 1 ]))
+       [ 0; 1 ])
+
 let test_firewall_writable_by () =
   let fw = Flash.Firewall.create cfg in
   Flash.Firewall.grant fw ~by:1 ~pfn:remote_pfn ~proc:0;
@@ -307,6 +348,10 @@ let suite =
     Alcotest.test_case "firewall changes are local-processor-only" `Quick
       test_firewall_local_only;
     Alcotest.test_case "firewall grant/revoke" `Quick test_firewall_grant_revoke;
+    Alcotest.test_case "config with >64 nodes rejected" `Quick
+      test_config_rejects_over_64_nodes;
+    Alcotest.test_case "firewall masked page scan" `Quick
+      test_firewall_pages_writable_by_mask;
     Alcotest.test_case "firewall writable_by scan" `Quick
       test_firewall_writable_by;
     Alcotest.test_case "write requires firewall permission" `Quick

@@ -6,12 +6,13 @@ let small_params = Hive.Params.default
 and () = ()
 
 (* Boot a fresh system for each test. *)
-let with_sys ?(ncells = 2) ?(nodes = 2) ?(oracle = false) ?(wax = false) f =
+let with_sys ?(ncells = 2) ?(nodes = 2) ?(oracle = false) ?(wax = false)
+    ?(params = Hive.Params.default) f =
   let eng = Sim.Engine.create () in
   let mcfg =
     { Flash.Config.small with Flash.Config.nodes; mem_pages_per_node = 512 }
   in
-  let sys = Hive.System.boot ~mcfg ~ncells ~oracle ~wax eng in
+  let sys = Hive.System.boot ~mcfg ~params ~ncells ~oracle ~wax eng in
   f eng sys
 
 let run_proc sys ~on ~name body =
@@ -204,7 +205,11 @@ let test_rpc_timeout_reports_hint () =
       Alcotest.(check int) "caller ok" 0 (exit_code p))
 
 let test_hw_failure_detected_and_recovered () =
-  with_sys ~ncells:2 ~nodes:2 (fun eng sys ->
+  (* Keep the failed cell down: this test checks the contained state
+     itself, not the master's automatic repair. *)
+  with_sys ~ncells:2 ~nodes:2
+    ~params:{ Hive.Params.default with Hive.Params.auto_reintegrate = false }
+    (fun eng sys ->
       (* Let things settle, then kill node 1 (= cell 1). *)
       Sim.Engine.run ~until:50_000_000L eng;
       let t_fault = Sim.Engine.now eng in

@@ -1,12 +1,17 @@
 (* Failure detection, agreement, recovery and reintegration tests. *)
 
-let with_sys ?(ncells = 4) ?(oracle = false) f =
+let with_sys ?(ncells = 4) ?(oracle = false) ?(params = Hive.Params.default) f =
   let eng = Sim.Engine.create () in
   let mcfg =
     { Flash.Config.small with Flash.Config.nodes = ncells; mem_pages_per_node = 512 }
   in
-  let sys = Hive.System.boot ~mcfg ~ncells ~oracle ~wax:false eng in
+  let sys = Hive.System.boot ~mcfg ~params ~ncells ~oracle ~wax:false eng in
   f eng sys
+
+(* Several tests below inspect the post-recovery "cell stays down" state,
+   which only exists when the recovery master is not allowed to repair
+   and reboot the failed cell on its own. *)
+let manual = { Hive.Params.default with Hive.Params.auto_reintegrate = false }
 
 let settle eng = Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 50_000_000L) eng
 
@@ -27,7 +32,7 @@ let test_all_cells_enter_recovery () =
         (List.sort compare entered))
 
 let test_live_sets_updated () =
-  with_sys (fun eng sys ->
+  with_sys ~params:manual (fun eng sys ->
       settle eng;
       Hive.System.inject_node_failure sys 1;
       ignore (await_recovery sys);
@@ -171,7 +176,7 @@ let test_wax_dies_and_restarts () =
   Alcotest.(check bool) "wax restarted by recovery master" true ok
 
 let test_reintegration () =
-  with_sys (fun eng sys ->
+  with_sys ~params:manual (fun eng sys ->
       settle eng;
       (* Create a file on cell 1, kill cell 1, reintegrate it, and check
          the file is still there (disk survives) and the cell serves. *)
@@ -225,7 +230,7 @@ let test_reintegration () =
         reader.Hive.Types.exit_code)
 
 let test_double_failure () =
-  with_sys (fun eng sys ->
+  with_sys ~params:manual (fun eng sys ->
       settle eng;
       Hive.System.inject_node_failure sys 1;
       ignore (await_recovery sys);
@@ -235,6 +240,81 @@ let test_double_failure () =
       Alcotest.(check (list int)) "two survivors" [ 0; 3 ]
         (List.sort compare (Hive.System.live_cells sys));
       ignore eng)
+
+let test_round_restart_on_nested_failure () =
+  with_sys ~params:manual (fun eng sys ->
+      settle eng;
+      let t0 = Sim.Engine.now eng in
+      Hive.System.inject_node_failure sys 2;
+      (* Wait until the round is in flight and past barrier 1, then kill a
+         second participant mid-round: the survivors must abort the
+         barriers and restart with the enlarged dead set instead of
+         deadlocking on cell 1's barrier slot. *)
+      let mid_round =
+        Hive.System.run_until sys ~step:100_000L
+          ~deadline:(Int64.add t0 3_000_000_000L)
+          (fun () ->
+            sys.Hive.Types.recovery_round_active
+            && List.exists
+                 (fun (phase, t) ->
+                   phase = "recovery.barrier1" && Int64.compare t t0 >= 0)
+                 sys.Hive.Types.recovery_timeline)
+      in
+      Alcotest.(check bool) "round reached barrier 1" true mid_round;
+      Hive.System.inject_node_failure sys 1;
+      Alcotest.(check bool) "restarted round completes" true
+        (await_recovery sys);
+      Alcotest.(check bool) "round restart counted" true
+        (Sim.Stats.value sys.Hive.Types.sys_counters "recovery.round_restarts"
+        >= 1);
+      Alcotest.(check bool) "restart marker in timeline" true
+        (List.exists
+           (fun (p, _) -> p = "recovery.restart")
+           sys.Hive.Types.recovery_timeline);
+      Alcotest.(check (list int)) "two survivors" [ 0; 3 ]
+        (List.sort compare (Hive.System.live_cells sys));
+      Array.iter
+        (fun (c : Hive.Types.cell) ->
+          if Hive.Types.cell_alive c then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "cell %d dropped cell 1" c.Hive.Types.cell_id)
+              false
+              (List.mem 1 c.Hive.Types.live_set);
+            Alcotest.(check bool)
+              (Printf.sprintf "cell %d dropped cell 2" c.Hive.Types.cell_id)
+              false
+              (List.mem 2 c.Hive.Types.live_set)
+          end)
+        sys.Hive.Types.cells)
+
+let test_auto_reintegration () =
+  with_sys (fun eng sys ->
+      settle eng;
+      Hive.System.inject_node_failure sys 2;
+      Alcotest.(check bool) "recovery completes" true (await_recovery sys);
+      (* With [auto_reintegrate] (the default) the recovery master repairs
+         the failed nodes after diagnostics and reboots the cell without
+         any manual call. *)
+      let rebooted =
+        Hive.System.run_until sys
+          ~deadline:(Int64.add (Sim.Engine.now eng) 2_000_000_000L)
+          (fun () -> Hive.Types.cell_alive sys.Hive.Types.cells.(2))
+      in
+      Alcotest.(check bool) "cell 2 rebooted by master" true rebooted;
+      Alcotest.(check int) "one reintegration counted" 1
+        (Sim.Stats.value sys.Hive.Types.sys_counters "cell.reintegrations");
+      Alcotest.(check bool) "reintegrate marker in timeline" true
+        (List.exists
+           (fun (p, _) -> p = "recovery.reintegrate")
+           sys.Hive.Types.recovery_timeline);
+      Array.iter
+        (fun (c : Hive.Types.cell) ->
+          if Hive.Types.cell_alive c then
+            Alcotest.(check bool)
+              (Printf.sprintf "cell %d has cell 2 back" c.Hive.Types.cell_id)
+              true
+              (List.mem 2 c.Hive.Types.live_set))
+        sys.Hive.Types.cells)
 
 let test_panic_cuts_off_memory () =
   with_sys ~ncells:2 (fun eng sys ->
@@ -279,6 +359,10 @@ let suite =
       test_wax_dies_and_restarts;
     Alcotest.test_case "reintegration after repair" `Quick test_reintegration;
     Alcotest.test_case "two successive failures" `Quick test_double_failure;
+    Alcotest.test_case "nested failure restarts the round" `Quick
+      test_round_restart_on_nested_failure;
+    Alcotest.test_case "automatic reintegration by the master" `Quick
+      test_auto_reintegration;
     Alcotest.test_case "panic cuts off remote memory access" `Quick
       test_panic_cuts_off_memory;
   ]

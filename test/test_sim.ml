@@ -268,6 +268,62 @@ let test_barrier_cyclic () =
   Sim.Engine.run eng;
   Alcotest.(check int) "both finished 3 rounds" 2 !rounds
 
+let test_barrier_abort_releases_waiters () =
+  let eng = Sim.Engine.create () in
+  let b = Sim.Barrier.create 3 in
+  let outcomes = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Engine.delay (Int64.of_int i);
+           let o = Sim.Barrier.await_abortable eng b in
+           outcomes := o :: !outcomes))
+  done;
+  (* The third party never arrives; abort instead of deadlocking. *)
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 10L;
+         Sim.Barrier.abort eng b));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "both waiters released" 2 (List.length !outcomes);
+  Alcotest.(check bool) "both saw Aborted" true
+    (List.for_all (fun o -> o = Sim.Barrier.Aborted) !outcomes);
+  (* Abort is sticky: late arrivals are turned away immediately. *)
+  let late = ref None in
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         late := Some (Sim.Barrier.await_abortable eng b)));
+  Sim.Engine.run eng;
+  Alcotest.(check bool) "late arrival sees Aborted" true
+    (!late = Some Sim.Barrier.Aborted)
+
+let test_barrier_remove_party () =
+  let eng = Sim.Engine.create () in
+  let b = Sim.Barrier.create 3 in
+  let released = ref 0 in
+  for i = 1 to 2 do
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Sim.Engine.delay (Int64.of_int i);
+           match Sim.Barrier.await_abortable eng b with
+           | Sim.Barrier.Released -> incr released
+           | Sim.Barrier.Aborted -> ()))
+  done;
+  (* The third participant dies; shrinking the party count must release
+     the two already waiting. *)
+  ignore
+    (Sim.Engine.spawn eng (fun () ->
+         Sim.Engine.delay 10L;
+         Sim.Barrier.remove_party eng b));
+  Sim.Engine.run eng;
+  Alcotest.(check int) "both released by the shrink" 2 !released;
+  Alcotest.(check int) "parties now 2" 2 (Sim.Barrier.parties b);
+  (* Shrinking the last party degenerates to an abort. *)
+  let b2 = Sim.Barrier.create 1 in
+  Sim.Barrier.remove_party eng b2;
+  Alcotest.(check bool) "single-party shrink aborts" true
+    (Sim.Barrier.aborted b2)
+
 let test_prng_deterministic () =
   let a = Sim.Prng.create 42 and b = Sim.Prng.create 42 in
   for _ = 1 to 100 do
@@ -368,6 +424,10 @@ let suite =
     Alcotest.test_case "barrier releases all at once" `Quick
       test_barrier_releases_all;
     Alcotest.test_case "barrier is cyclic" `Quick test_barrier_cyclic;
+    Alcotest.test_case "barrier abort releases waiters" `Quick
+      test_barrier_abort_releases_waiters;
+    Alcotest.test_case "barrier shrinks when a party dies" `Quick
+      test_barrier_remove_party;
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
     Alcotest.test_case "condvar signal" `Quick test_condvar;
     QCheck_alcotest.to_alcotest qcheck_heap_ordered;

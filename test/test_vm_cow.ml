@@ -202,6 +202,82 @@ let test_cow_lookup_cross_cell () =
       in
       run_to_completion sys p)
 
+let test_write_word_refault_bounded () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:1 ~name:"t" (fun sys p ->
+            (* Import a writable file page from the cell-0 data home. *)
+            let path =
+              let rec go k =
+                let c = Printf.sprintf "/z/refault.%d" k in
+                if Hive.Fs.home_of_path sys c = 0 then c else go (k + 1)
+              in
+              go 0
+            in
+            let fd =
+              Hive.Syscall.creat sys p ~content:(Bytes.make 4096 'r') path
+            in
+            let r = Hive.Syscall.mmap_file sys p ~fd ~npages:1 ~writable:true in
+            let vp = r.Hive.Types.start_page in
+            Hive.Syscall.write_word sys p ~vpage:vp ~offset:0 1L;
+            (* The home revokes the firewall grant without tearing down the
+               import binding (what recovery's mass revocation does): the
+               refault hits the local pfdat cache, which still records the
+               write grant, and remaps without restoring permission. The
+               retry loop must give up with EFAULT instead of recursing
+               forever. *)
+            let m = Hashtbl.find p.Hive.Types.mappings vp in
+            let pfn = m.Hive.Types.map_pf.Hive.Types.pfn in
+            let node = Flash.Addr.node_of_pfn sys.Hive.Types.mcfg pfn in
+            let fwall = Flash.Machine.firewall sys.Hive.Types.machine in
+            Flash.Firewall.revoke_all_remote fwall ~by:node ~pfn;
+            (match Hive.Vm.write_word sys p ~vpage:vp ~offset:0 2L with
+            | Error Hive.Types.EFAULT -> ()
+            | Ok () -> failwith "expected EFAULT"
+            | Error _ -> failwith "unexpected errno");
+            let c1 = sys.Hive.Types.cells.(1) in
+            let retries =
+              Sim.Stats.value c1.Hive.Types.counters "vm.refault_retries"
+            in
+            let bound =
+              sys.Hive.Types.params.Hive.Params.max_refault_retries
+            in
+            if retries <> bound + 1 then
+              failwith
+                (Printf.sprintf "expected %d refault attempts, saw %d"
+                   (bound + 1) retries))
+      in
+      run_to_completion sys p)
+
+let test_anon_get_careful_failure_reports_hint () =
+  with_sys (fun _eng sys ->
+      let p =
+        in_proc sys ~on:0 ~name:"t" (fun sys p ->
+            ignore p;
+            let c0 = sys.Hive.Types.cells.(0) in
+            let c1 = sys.Hive.Types.cells.(1) in
+            (* A remote COW reference whose target is not a COW node: the
+               careful tag check must defend, and the failure must be
+               reported as a hint against the owner (it may be corrupt),
+               not silently swallowed. *)
+            let bogus =
+              { Hive.Types.cow_cell = 1;
+                cow_addr = c1.Hive.Types.kmem.Hive.Types.kmem_base + 8 }
+            in
+            (match Hive.Vm.anon_get sys c0 bogus ~page:0 ~writable:false with
+            | Error Hive.Types.EFAULT -> ()
+            | Ok _ -> failwith "expected EFAULT"
+            | Error _ -> failwith "unexpected errno");
+            assert (
+              Sim.Stats.value c0.Hive.Types.counters
+                "vm.anon_careful_failures"
+              >= 1);
+            assert (
+              Sim.Stats.value c0.Hive.Types.counters "failure.hints" >= 1);
+            assert (List.mem 1 c0.Hive.Types.suspected))
+      in
+      run_to_completion sys p)
+
 (* Model-based property: a random interleaving of writes/forks/reads on a
    small anon region behaves like a functional environment model. *)
 let qcheck_cow_model =
@@ -309,6 +385,10 @@ let suite =
       test_cow_free_clears_tag;
     Alcotest.test_case "cow lookup across cells" `Quick
       test_cow_lookup_cross_cell;
+    Alcotest.test_case "write refault retries are bounded" `Quick
+      test_write_word_refault_bounded;
+    Alcotest.test_case "careful anon_get failure reports a hint" `Quick
+      test_anon_get_careful_failure_reports_hint;
     QCheck_alcotest.to_alcotest qcheck_cow_model;
     QCheck_alcotest.to_alcotest qcheck_page_alloc_conservation;
   ]

@@ -127,8 +127,28 @@ let test_campaign_node_failure_contained () =
   (match o.Faultinj.Campaign.detection_ms with
   | Some d -> Alcotest.(check bool) "detection < 100ms" true (d < 100.)
   | None -> Alcotest.fail "no detection");
-  Alcotest.(check (list int)) "three survivors" [ 0; 1; 3 ]
+  (* The recovery master repairs and reboots the failed cell after
+     diagnostics, so all four cells are live again by the end. *)
+  Alcotest.(check (list int)) "all cells live after reintegration"
+    [ 0; 1; 2; 3 ]
     (List.sort compare o.Faultinj.Campaign.survivors)
+
+let test_campaign_cascade_contained () =
+  (* Second node killed while the first failure's recovery round is in
+     flight: no deadlock, the survivors finish the restarted round, the
+     fault stays contained, and the master reintegrates both victims. *)
+  let o =
+    Faultinj.Campaign.run_cascade_test ~seed:21 ~first_node:2 ~second_node:1
+      ~at_ns:100_000_000L ()
+  in
+  Alcotest.(check bool) "no deadlock" false o.Faultinj.Campaign.c_deadlocked;
+  Alcotest.(check bool) "round restarted" true o.Faultinj.Campaign.c_restarted;
+  Alcotest.(check bool) "contained" true o.Faultinj.Campaign.c_contained;
+  Alcotest.(check bool) "both victims reintegrated" true
+    o.Faultinj.Campaign.c_reintegrated;
+  Alcotest.(check bool) "check run passed" true
+    o.Faultinj.Campaign.c_check_passed;
+  Alcotest.(check bool) "passed overall" true (Faultinj.Campaign.cascade_passed o)
 
 let test_campaign_cow_corruption_contained () =
   let o =
@@ -169,6 +189,8 @@ let suite =
       test_raytrace_detects_scene_corruption;
     Alcotest.test_case "campaign: node failure contained" `Slow
       test_campaign_node_failure_contained;
+    Alcotest.test_case "campaign: double failure contained" `Slow
+      test_campaign_cascade_contained;
     Alcotest.test_case "campaign: COW corruption contained" `Slow
       test_campaign_cow_corruption_contained;
     Alcotest.test_case "campaign: map corruption contained" `Slow
