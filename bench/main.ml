@@ -14,6 +14,7 @@
      wax                  Table 3.4: policy hints round-trip
      hw-features          Table 8.1: custom hardware self-checks
      ablations            Design-choice ablations (not in the paper)
+     fuzz                 DST fuzzer throughput (campaigns/s, sim speedup)
      simulator            Bechamel micro-benchmarks of the simulator itself
 *)
 
@@ -725,6 +726,33 @@ let recovery_discard_bench () =
   if old_us <= new_us then
     failwith "recovery-discard: masked scan must beat per-processor scans"
 
+(* ---------- fuzzer throughput ---------- *)
+
+(* Wall-clock throughput of the DST harness: how many randomized fault
+   campaigns the fuzzer gets through per second of real time, and how much
+   simulated time that buys. A healthy tree reports zero failures. *)
+let fuzz_bench () =
+  section_header "fuzz (deterministic simulation fuzzer throughput)";
+  let nseeds = 8 in
+  let t0 = Sys.time () in
+  let sim_ns = ref 0L in
+  let failures = ref 0 in
+  for s = 1 to nseeds do
+    let r =
+      Faultinj.Fuzz.run_plan (Faultinj.Fuzz.plan_of_seed (Int64.of_int s))
+    in
+    sim_ns := Int64.add !sim_ns r.Faultinj.Fuzz.r_sim_ns;
+    if Faultinj.Fuzz.failed r then incr failures
+  done;
+  let wall = max (Sys.time () -. t0) 1e-6 in
+  let sim_s = Int64.to_float !sim_ns /. 1e9 in
+  row "%d seeds in %.2f s wall (%.1f campaigns/s)" nseeds wall
+    (float_of_int nseeds /. wall);
+  row "simulated %.1f s total -> %.0fx faster than real time" sim_s
+    (sim_s /. wall);
+  row "failures: %d (must be 0 on a healthy tree)" !failures;
+  if !failures > 0 then failwith "fuzz: clean seeds reported violations"
+
 (* ---------- Bechamel: wall-clock cost of the simulator itself ---------- *)
 
 let simulator_bench () =
@@ -795,6 +823,7 @@ let all_sections =
     ("table-7.4", fun () -> table_7_4 ());
     ("wax", wax_bench);
     ("recovery-discard", recovery_discard_bench);
+    ("fuzz", fuzz_bench);
     ("hw-features", hw_features);
     ("ablations", ablations);
     ("simulator", simulator_bench);

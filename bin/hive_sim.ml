@@ -194,6 +194,57 @@ let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
   finish_observability sys ~trace_close ~metrics_json;
   if corrupt = [] then 0 else 1
 
+(* ---- fuzz command ---- *)
+
+let run_fuzz seeds seed_base replay shrink_flag out demo_bug =
+  let out_chan = Option.map open_out out in
+  let emit r =
+    match out_chan with
+    | Some oc -> output_string oc (Faultinj.Fuzz.record_to_json r ^ "\n")
+    | None -> ()
+  in
+  let run_one seed =
+    let plan = Faultinj.Fuzz.plan_of_seed seed in
+    let r = Faultinj.Fuzz.run_plan ~demo_bug plan in
+    emit r;
+    if Faultinj.Fuzz.failed r then begin
+      Printf.printf "FAIL %s\n" (Faultinj.Fuzz.record_to_json r);
+      (* Replay the failing seed with a Chrome trace for post-mortem. *)
+      let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
+      ignore (Faultinj.Fuzz.run_plan ~demo_bug ~trace_out:trace plan);
+      Printf.printf "  trace written to %s\n" trace;
+      if shrink_flag then begin
+        let p', r' = Faultinj.Fuzz.shrink ~demo_bug plan in
+        Printf.printf "  shrunk to: %s\n" (Faultinj.Fuzz.describe_plan p');
+        Printf.printf "  %s\n" (Faultinj.Fuzz.record_to_json r')
+      end;
+      false
+    end
+    else begin
+      Printf.printf "ok   seed=0x%Lx sim=%.2fs injected=%d survivors=[%s]\n"
+        seed
+        (Int64.to_float r.Faultinj.Fuzz.r_sim_ns /. 1e9)
+        (List.length r.Faultinj.Fuzz.r_injected)
+        (String.concat ";"
+           (List.map string_of_int r.Faultinj.Fuzz.r_survivors));
+      true
+    end
+  in
+  let ok =
+    match replay with
+    | Some seed -> run_one seed
+    | None ->
+      let failures = ref 0 in
+      for i = 0 to seeds - 1 do
+        let seed = Int64.add seed_base (Int64.of_int i) in
+        if not (run_one seed) then incr failures
+      done;
+      Printf.printf "fuzz: %d seed(s), %d failure(s)\n" seeds !failures;
+      !failures = 0
+  in
+  Option.iter close_out out_chan;
+  if ok then 0 else 1
+
 (* ---- cmdliner terms ---- *)
 
 let cells_arg =
@@ -293,10 +344,61 @@ let fault_cmd =
       $ at_ms_arg $ cascade_node_arg $ oracle_arg $ trace_out_arg
       $ metrics_json_arg)
 
+let seeds_arg =
+  Arg.(
+    value & opt int 25
+    & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+
+let seed_base_arg =
+  Arg.(
+    value & opt int64 1L
+    & info [ "seed-base" ] ~docv:"SEED"
+        ~doc:"First seed of the sweep (decimal or 0x hex).")
+
+let replay_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "replay" ] ~docv:"SEED"
+        ~doc:"Replay a single seed instead of sweeping.")
+
+let shrink_arg =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"Shrink failing seeds to a minimal reproducer plan.")
+
+let fuzz_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Append one JSON record per seed to FILE (JSON Lines).")
+
+let demo_bug_arg =
+  Arg.(
+    value & flag
+    & info [ "demo-bug" ]
+        ~doc:
+          "(testing) Plant a deliberate containment bug — a firewall grant \
+           the kernel never recorded — to prove the checkers catch it.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Deterministic fault-campaign fuzzing: each seed derives a machine \
+          shape, workload, scheduler jitter and fault schedule; system-wide \
+          invariants are checked at end of run. Failing seeds replay \
+          bit-for-bit and can be shrunk.")
+    Term.(
+      const run_fuzz $ seeds_arg $ seed_base_arg $ replay_arg $ shrink_arg
+      $ fuzz_out_arg $ demo_bug_arg)
+
 let main =
   Cmd.group
     (Cmd.info "hive_sim" ~version:"1.0"
        ~doc:"Simulated Hive multicellular OS on a FLASH machine model.")
-    [ workload_cmd; sweep_cmd; fault_cmd ]
+    [ workload_cmd; sweep_cmd; fault_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

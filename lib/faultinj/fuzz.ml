@@ -1,0 +1,425 @@
+(* Deterministic simulation fuzzer.
+
+   One 64-bit seed derives everything about a run: the machine shape, the
+   workload and its scaled-down configuration, the scheduler-jitter
+   stream, and a randomized fault schedule. The engine itself is
+   deterministic, so the seed is the complete reproducer: replaying it
+   gives the same virtual-time history bit for bit, and a failing seed can
+   be shrunk by re-running simplified plans.
+
+   Independent PRNG streams are salted from the seed so that, e.g.,
+   dropping a fault during shrinking does not perturb the jitter draws. *)
+
+type workload = Pmake | Ocean | Raytrace
+
+type plan = {
+  seed : int64;
+  ncells : int;
+  nodes_per_cell : int;
+  mem_pages_per_node : int;
+  workload : workload;
+  jitter : bool;
+  faults : Campaign.fault list;
+}
+
+type record = {
+  r_seed : int64;
+  r_plan : string;
+  r_injected : string list;
+  r_completed : bool;
+  r_violations : string list;
+  r_survivors : int list;
+  r_sim_ns : int64;
+}
+
+let jitter_salt = 0x94D049BB133111EBL
+let inject_salt = 0xBF58476D1CE4E5B9L
+let cfg_salt = 0x9E3779B97F4A7C15L
+
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+
+let workload_name = function
+  | Pmake -> "pmake"
+  | Ocean -> "ocean"
+  | Raytrace -> "raytrace"
+
+let fault_desc f =
+  Printf.sprintf "%s @ %Ldms" (Campaign.describe f)
+    (Int64.div (Campaign.fault_time f) 1_000_000L)
+
+let plan_of_seed seed =
+  let rng = Sim.Prng.of_int64 seed in
+  let pick arr = arr.(Sim.Prng.int rng (Array.length arr)) in
+  let ncells = pick [| 2; 2; 3; 4 |] in
+  let nodes_per_cell = pick [| 1; 1; 2 |] in
+  let mem_pages_per_node = pick [| 1024; 2048 |] in
+  let workload = pick [| Pmake; Pmake; Ocean; Raytrace |] in
+  let jitter = Sim.Prng.int rng 4 < 3 in
+  let nfaults = pick [| 0; 1; 1; 1; 2; 2; 3 |] in
+  (* Cell 0 hosts the workload drivers and the /tmp file server; faults
+     target the other cells, which is where containment is interesting. *)
+  let victim () = 1 + Sim.Prng.int rng (ncells - 1) in
+  let mode () =
+    Campaign.modes.(Sim.Prng.int rng (Array.length Campaign.modes))
+  in
+  let rec gen i prev_at acc =
+    if i >= nfaults then List.rev acc
+    else
+      let at =
+        if i > 0 && Sim.Prng.int rng 2 = 0 then
+          (* Cascade: land a few ms after the previous fault, while its
+             recovery round is likely between the two barriers. *)
+          Int64.add prev_at (ms (2 + Sim.Prng.int rng 28))
+        else ms (30 + Sim.Prng.int rng 1170)
+      in
+      let f =
+        match Sim.Prng.int rng 4 with
+        | 0 | 1 ->
+          let vc = victim () in
+          let node = (vc * nodes_per_cell) + Sim.Prng.int rng nodes_per_cell in
+          Campaign.Node_failure { node; at_ns = at }
+        | 2 ->
+          Campaign.Corrupt_map
+            { victim_cell = victim (); at_ns = at; mode = mode () }
+        | _ ->
+          Campaign.Corrupt_cow
+            { victim_cell = victim (); at_ns = at; mode = mode () }
+      in
+      gen (i + 1) at (f :: acc)
+  in
+  let faults =
+    gen 0 0L []
+    |> List.stable_sort (fun a b ->
+           Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
+  in
+  { seed; ncells; nodes_per_cell; mem_pages_per_node; workload; jitter; faults }
+
+let describe_plan p =
+  Printf.sprintf "seed=0x%Lx cells=%dx%d mem=%d wl=%s jitter=%s faults=[%s]"
+    p.seed p.ncells p.nodes_per_cell p.mem_pages_per_node
+    (workload_name p.workload)
+    (if p.jitter then "on" else "off")
+    (String.concat "; " (List.map fault_desc p.faults))
+
+(* Workload configurations are scaled down from the paper's Table 7.1
+   sizes so a single fuzz run takes a fraction of a second of wall time.
+   Derived from a salted stream independent of the fault draws, and from
+   the plan's fixed shape only, so shrinking a plan never changes the
+   workload. *)
+
+type wcfg =
+  | Cfg_pmake of Workloads.Pmake.cfg
+  | Cfg_ocean of Workloads.Ocean.cfg
+  | Cfg_raytrace of Workloads.Raytrace.cfg
+
+let cfg_of_plan p =
+  let rng = Sim.Prng.of_int64 (Int64.logxor p.seed cfg_salt) in
+  let r n = Sim.Prng.int rng n in
+  match p.workload with
+  | Pmake ->
+    Cfg_pmake
+      {
+        Workloads.Pmake.files = 3 + r 4;
+        jobs = 2 + r 2;
+        src_bytes = 16_384;
+        hdr_bytes = 65_536;
+        cc_bytes = 131_072;
+        intermediate_bytes = 32_768;
+        obj_bytes = 8_192;
+        anon_pages = 48 + r 32;
+        include_searches = 60;
+        cpp_ns = ms 60;
+        cc1_ns = ms 160;
+        as_ns = ms 60;
+        link_ns = ms 80;
+      }
+  | Ocean ->
+    Cfg_ocean
+      {
+        Workloads.Ocean.workers = p.ncells;
+        chunk_pages = 40 + r 41;
+        boundary_words = 64;
+        steps = 3 + r 3;
+        step_compute_ns = ms 200;
+        init_compute_ns = ms 100;
+      }
+  | Raytrace ->
+    Cfg_raytrace
+      {
+        Workloads.Raytrace.workers = 2 + r 3;
+        scene_pages = 32 + r 33;
+        tile_pages = 8;
+        compute_ns = ms 600;
+        build_ns = ms 100;
+      }
+
+let setup_workload sys = function
+  | Cfg_pmake c -> Workloads.Pmake.setup sys c
+  | Cfg_ocean c -> Workloads.Ocean.setup sys c
+  | Cfg_raytrace _ -> ()  (* the driver builds the scene itself *)
+
+let run_workload sys = function
+  | Cfg_pmake c -> fst (Workloads.Pmake.run ~cfg:c sys)
+  | Cfg_ocean c -> fst (Workloads.Ocean.run ~cfg:c sys)
+  | Cfg_raytrace c -> fst (Workloads.Raytrace.run ~cfg:c sys)
+
+let verify_workload sys = function
+  | Cfg_pmake c -> Workloads.Pmake.verify ~cfg:c sys
+  | Cfg_ocean c -> Workloads.Ocean.verify ~cfg:c sys
+  | Cfg_raytrace c -> Workloads.Raytrace.verify ~cfg:c sys
+
+(* Post-episode correctness check (Section 7.4's "check run"): a tiny
+   pmake across the surviving cells whose outputs must be exact. *)
+let check_cfg =
+  {
+    Workloads.Pmake.files = 2;
+    jobs = 2;
+    src_bytes = 8_192;
+    hdr_bytes = 16_384;
+    cc_bytes = 32_768;
+    intermediate_bytes = 8_192;
+    obj_bytes = 4_096;
+    anon_pages = 16;
+    include_searches = 12;
+    cpp_ns = ms 20;
+    cc1_ns = ms 50;
+    as_ns = ms 20;
+    link_ns = ms 30;
+  }
+
+let quiesce_deadline_ns = 10_000_000_000L
+
+let run_plan ?(demo_bug = false) ?trace_out plan =
+  let eng = Sim.Engine.create () in
+  let nodes = plan.ncells * plan.nodes_per_cell in
+  let mcfg =
+    {
+      Flash.Config.default with
+      Flash.Config.nodes;
+      mem_pages_per_node = plan.mem_pages_per_node;
+    }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells:plan.ncells ~wax:true eng in
+  let close_trace =
+    match trace_out with
+    | None -> fun () -> ()
+    | Some path ->
+      let sink, close = Sim.Event.chrome_file path in
+      Sim.Event.attach sys.Hive.Types.events sink;
+      close
+  in
+  (* Jitter starts only after boot so every plan boots through the same
+     canonical event order; divergence comes from the plan alone. *)
+  if plan.jitter then
+    Sim.Engine.set_jitter eng
+      (Some (Sim.Prng.of_int64 (Int64.logxor plan.seed jitter_salt)));
+  let inject_rng = Sim.Prng.of_int64 (Int64.logxor plan.seed inject_salt) in
+  let cfg = cfg_of_plan plan in
+  let injected = ref [] and exempt = ref [] in
+  let violations = ref [] in
+  let vio inv detail =
+    violations := Printf.sprintf "%s: %s" inv detail :: !violations
+  in
+  let completed = ref false in
+  (try
+     setup_workload sys cfg;
+     ignore
+       (Sim.Engine.spawn eng ~name:"fuzz.injector" (fun () ->
+            List.iter
+              (fun f ->
+                let at = Campaign.fault_time f in
+                let now = Sim.Engine.time () in
+                if Int64.compare at now > 0 then
+                  Sim.Engine.delay (Int64.sub at now);
+                (* Retry until a suitable victim exists (corruption faults
+                   need a process with an anonymous region). *)
+                let rec attempt tries =
+                  match Campaign.inject sys inject_rng f with
+                  | Some cell ->
+                    injected :=
+                      Printf.sprintf "%s -> cell %d" (fault_desc f) cell
+                      :: !injected;
+                    if not (List.mem cell !exempt) then
+                      exempt := cell :: !exempt
+                  | None ->
+                    if tries > 0 then begin
+                      Sim.Engine.delay 20_000_000L;
+                      attempt (tries - 1)
+                    end
+                in
+                attempt 50)
+              plan.faults));
+     let result = run_workload sys cfg in
+     completed := result.Workloads.Workload.completed;
+     (* Let every scheduled fault — and the injector's retry window —
+        land before judging the end state. *)
+     let last_fault =
+       List.fold_left
+         (fun acc f -> max acc (Campaign.fault_time f))
+         0L plan.faults
+     in
+     let horizon = Int64.add last_fault 1_200_000_000L in
+     if Int64.compare (Hive.System.now eng) horizon < 0 then
+       ignore (Hive.System.run_until sys ~deadline:horizon (fun () -> false));
+     let quiesced () =
+       (not sys.Hive.Types.recovery_in_progress)
+       && Array.for_all Hive.Types.cell_alive sys.Hive.Types.cells
+     in
+     let wait_quiesce what =
+       if
+         not
+           (Hive.System.run_until sys
+              ~deadline:(Int64.add (Hive.System.now eng) quiesce_deadline_ns)
+              quiesced)
+       then vio "quiesce" (what ^ ": recovery/reintegration did not settle")
+     in
+     wait_quiesce "post-fault";
+     (* Workload outputs must be complete and exact on a fault-free run.
+        On a faulted run the application itself is not fault-tolerant —
+        a killed worker or a corrupted victim process feeds garbage into
+        outputs through perfectly legitimate writes — so exactness of the
+        faulted run's outputs proves nothing about the OS; the binding
+        oracle there is the post-recovery check run below. *)
+     let clean = !injected = [] in
+     if clean then
+       List.iter
+         (fun (path, v) ->
+           if v <> Workloads.Workload.Match then
+             vio "workload-output"
+               (Printf.sprintf "%s: %s on a fault-free run" path
+                  (Workloads.Workload.verify_outcome_to_string v)))
+         (verify_workload sys cfg);
+     if clean && not !completed then
+       vio "workload-output" "driver did not complete on a fault-free run";
+     if not clean then begin
+       Workloads.Pmake.setup sys check_cfg;
+       let cres = fst (Workloads.Pmake.run ~cfg:check_cfg sys) in
+       (* A corruption planted earlier may only trip a panic here, when
+          the check run touches the damaged structure. *)
+       wait_quiesce "check-run";
+       if not cres.Workloads.Workload.completed then
+         vio "check-run" "post-fault pmake check did not complete";
+       List.iter
+         (fun (path, v) ->
+           if v <> Workloads.Workload.Match then
+             vio "check-run"
+               (Printf.sprintf "%s: %s" path
+                  (Workloads.Workload.verify_outcome_to_string v)))
+         (Workloads.Pmake.verify ~cfg:check_cfg sys)
+     end;
+     (* RPC no-orphan: snapshot outstanding calls, advance past the RPC
+        timeout, and demand every one of them completed. *)
+     let snap = Hive.Invariants.rpc_snapshot sys in
+     ignore
+       (Hive.System.run_until sys
+          ~deadline:(Int64.add (Hive.System.now eng) 500_000_000L)
+          (fun () -> false));
+     List.iter
+       (fun v -> vio v.Hive.Invariants.inv v.Hive.Invariants.detail)
+       (Hive.Invariants.check_rpc_drained sys ~snapshot:snap);
+     (* The planted containment bug: a hardware grant the kernel never
+        recorded, on a kernel-reserve page cell 0 never exports. The
+        firewall/pfdat agreement checker must flag it. *)
+     if demo_bug && !exempt <> [] then begin
+       let victim = sys.Hive.Types.cells.(List.hd !exempt) in
+       let c0 = sys.Hive.Types.cells.(0) in
+       let pfn = Flash.Addr.first_pfn_of_node mcfg c0.Hive.Types.boss_node + 2 in
+       Flash.Firewall.grant_many
+         (Flash.Machine.firewall sys.Hive.Types.machine)
+         ~by:c0.Hive.Types.boss_node ~pfn victim.Hive.Types.cell_nodes
+     end;
+     List.iter
+       (fun v -> vio v.Hive.Invariants.inv v.Hive.Invariants.detail)
+       (Hive.Invariants.check ~exempt:!exempt sys)
+   with
+  | Sim.Engine.Deadlock msg -> vio "deadlock" msg
+  | e -> vio "exception" (Printexc.to_string e));
+  close_trace ();
+  {
+    r_seed = plan.seed;
+    r_plan = describe_plan plan;
+    r_injected = List.rev !injected;
+    r_completed = !completed;
+    r_violations = List.rev !violations;
+    r_survivors = Hive.System.live_cells sys;
+    r_sim_ns = Hive.System.now eng;
+  }
+
+let failed r = r.r_violations <> []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_strings xs =
+  String.concat "," (List.map (fun s -> "\"" ^ json_escape s ^ "\"") xs)
+
+let record_to_json r =
+  Printf.sprintf
+    {|{"seed":"0x%Lx","plan":"%s","injected":[%s],"completed":%b,"violations":[%s],"survivors":[%s],"sim_ns":%Ld}|}
+    r.r_seed (json_escape r.r_plan) (json_strings r.r_injected) r.r_completed
+    (json_strings r.r_violations)
+    (String.concat "," (List.map string_of_int r.r_survivors))
+    r.r_sim_ns
+
+(* Shrinking: greedily apply the first simplification that still fails —
+   dropping a fault, disabling jitter, rounding fault times to a coarse
+   grain — until a fixpoint (or a run budget, since each probe is a full
+   simulation). *)
+
+let round_to grain at =
+  let r = Int64.mul (Int64.div (Int64.add at (Int64.div grain 2L)) grain) grain in
+  if Int64.compare r grain < 0 then grain else r
+
+let round_fault grain = function
+  | Campaign.Node_failure f ->
+    Campaign.Node_failure { f with at_ns = round_to grain f.at_ns }
+  | Campaign.Corrupt_map f ->
+    Campaign.Corrupt_map { f with at_ns = round_to grain f.at_ns }
+  | Campaign.Corrupt_cow f ->
+    Campaign.Corrupt_cow { f with at_ns = round_to grain f.at_ns }
+
+let shrink ?(demo_bug = false) plan =
+  let fails p =
+    let r = run_plan ~demo_bug p in
+    if failed r then Some r else None
+  in
+  match fails plan with
+  | None -> invalid_arg "Fuzz.shrink: plan does not fail"
+  | Some r0 ->
+    let drop l i = List.filteri (fun j _ -> j <> i) l in
+    let candidates p =
+      List.init (List.length p.faults) (fun i ->
+          { p with faults = drop p.faults i })
+      @ (if p.jitter then [ { p with jitter = false } ] else [])
+      @ List.filter_map
+          (fun grain ->
+            let fs = List.map (round_fault grain) p.faults in
+            if fs <> p.faults then Some { p with faults = fs } else None)
+          [ 100_000_000L; 10_000_000L ]
+    in
+    let rec go p r budget =
+      if budget = 0 then (p, r)
+      else
+        let rec first = function
+          | [] -> None
+          | c :: rest -> (
+            match fails c with
+            | Some rc -> Some (c, rc)
+            | None -> first rest)
+        in
+        match first (candidates p) with
+        | Some (p', r') -> go p' r' (budget - 1)
+        | None -> (p, r)
+    in
+    go plan r0 40

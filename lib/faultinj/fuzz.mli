@@ -1,0 +1,54 @@
+(** Deterministic simulation fuzzer (DST harness).
+
+    A single 64-bit seed derives a whole experiment: machine shape (cells,
+    nodes per cell), workload and its scaled-down configuration, an
+    optional scheduler-jitter stream, and a randomized fault schedule
+    (node fail-stops, address-map and COW-tree corruptions, cascades
+    timed to land inside a recovery round). Because the simulation engine
+    is deterministic, replaying a seed reproduces the run bit-for-bit;
+    a failing seed can then be shrunk to a minimal reproducer. *)
+
+type workload = Pmake | Ocean | Raytrace
+
+type plan = {
+  seed : int64;
+  ncells : int;
+  nodes_per_cell : int;
+  mem_pages_per_node : int;
+  workload : workload;
+  jitter : bool;
+  faults : Campaign.fault list;  (** sorted by injection time *)
+}
+
+type record = {
+  r_seed : int64;
+  r_plan : string;  (** human-readable plan summary *)
+  r_injected : string list;  (** faults that actually landed, with cell *)
+  r_completed : bool;  (** workload driver finished *)
+  r_violations : string list;  (** invariant violations, empty = pass *)
+  r_survivors : int list;
+  r_sim_ns : int64;  (** virtual time at end of run *)
+}
+
+val plan_of_seed : int64 -> plan
+
+val describe_plan : plan -> string
+
+(** Run one plan to completion and check every invariant. [demo_bug]
+    plants a deliberate containment bug (a firewall grant the kernel
+    never recorded) when a node failure lands — used to prove the
+    checkers can catch one. [trace_out] writes a Chrome trace_event JSON
+    file of the run. *)
+val run_plan : ?demo_bug:bool -> ?trace_out:string -> plan -> record
+
+val failed : record -> bool
+
+(** One JSON object (single line, stable field order) per record; two
+    replays of the same seed produce byte-identical lines. *)
+val record_to_json : record -> string
+
+(** Shrink a failing plan: repeatedly drop faults, round fault times to
+    coarser grains, and disable jitter, keeping each simplification only
+    if the plan still fails. Returns the minimal plan and its record.
+    Raises [Invalid_argument] if the plan does not fail to begin with. *)
+val shrink : ?demo_bug:bool -> plan -> plan * record

@@ -77,15 +77,20 @@ let init_frames (sys : Types.system) (c : Types.cell) =
   c.Types.free_frames <- List.rev !frames
 
 (* Grant this cell's processors write access to all of its own memory;
-   remote cells get nothing until an export grants them a page. *)
+   remote cells get nothing until an export grants them a page. The vector
+   is overwritten, not OR-ed: on a reboot after a failure the hardware
+   still holds the grants the previous incarnation handed out, and
+   inheriting them would leave remote cells able to wild-write memory the
+   new kernel never exported. *)
 let init_firewall (sys : Types.system) (c : Types.cell) =
   let fw = Flash.Machine.firewall sys.Types.machine in
   let cfg = sys.Types.mcfg in
+  let own = Flash.Firewall.proc_mask c.Types.cell_nodes in
   List.iter
     (fun node ->
       let first = Flash.Addr.first_pfn_of_node cfg node in
       for pfn = first to first + cfg.Flash.Config.mem_pages_per_node - 1 do
-        Flash.Firewall.grant_many fw ~by:node ~pfn c.Types.cell_nodes
+        Flash.Firewall.set_vector fw ~by:node ~pfn own
       done)
     c.Types.cell_nodes
 

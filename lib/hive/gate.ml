@@ -22,7 +22,7 @@ let open_ (sys : Types.system) (c : Types.cell) =
 
 let pass (c : Types.cell) =
   while not c.Types.user_gate_open do
-    Sim.Engine.suspend (fun thr ->
+    Sim.Engine.suspend ~site:"gate.pass" (fun thr ->
         c.Types.gate_waiters <- c.Types.gate_waiters @ [ thr ])
   done
 

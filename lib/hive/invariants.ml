@@ -1,0 +1,388 @@
+(* System-wide invariant checkers (deterministic simulation testing).
+
+   The fault-containment argument of the paper reduces to a handful of
+   global properties: firewall hardware state agrees with the pfdat grant
+   bookkeeping and never names a dead cell; COW trees reachable from live
+   processes are acyclic and well-formed; page reference counts match the
+   mappings that exist; every RPC a client started completes with a reply
+   or a dead-peer error; and outside recovery every live cell has its
+   user gate open and its recovery flags clear.
+
+   All checks read simulator state directly ([Flash.Memory.peek], pfdat
+   tables, hashtables): they charge no simulated time and can run outside
+   any simulation thread, so observing the system cannot change it. *)
+
+type violation = { inv : string; detail : string }
+
+let to_string v = Printf.sprintf "[%s] %s" v.inv v.detail
+
+let v inv fmt = Printf.ksprintf (fun detail -> { inv; detail }) fmt
+
+let live_cells (sys : Types.system) =
+  Array.to_list sys.Types.cells |> List.filter Types.cell_alive
+
+(* Cells whose processors intersect [vec], excluding [but]. *)
+let cells_in_vector (sys : Types.system) vec ~but =
+  Array.to_list sys.Types.cells
+  |> List.filter_map (fun (c : Types.cell) ->
+         if
+           c.Types.cell_id <> but
+           && Int64.logand vec (Flash.Firewall.proc_mask c.Types.cell_nodes)
+              <> 0L
+         then Some c.Types.cell_id
+         else None)
+
+(* ---------- firewall / pfdat agreement ---------- *)
+
+(* Direction 1 (hardware -> bookkeeping): every page of a live cell whose
+   permission vector names a remote processor must be tracked by a pfdat
+   whose [write_granted_to] records that remote cell — otherwise a cell
+   the kernel never granted anything to can wild-write the page. The
+   tracking pfdat is normally the owner's; for a loaned frame it is the
+   borrowing data home's (only the data home knows the firewall status).
+
+   Direction 2 (bookkeeping -> hardware): every recorded grant must be
+   backed by actual permission bits, or a client holding a writable
+   mapping would take surprise bus errors.
+
+   Both directions: grants must never name a dead cell at a quiesce
+   point — recovery's preemptive discard is obliged to revoke them. *)
+let check_firewall (sys : Types.system) ~cells =
+  let fw = Flash.Machine.firewall sys.Types.machine in
+  let bad = ref [] in
+  let note x = bad := x :: !bad in
+  let alive id = Types.cell_alive sys.Types.cells.(id) in
+  List.iter
+    (fun (c : Types.cell) ->
+      let own_mask = Flash.Firewall.proc_mask c.Types.cell_nodes in
+      let remote_mask = Int64.lognot own_mask in
+      List.iter
+        (fun node ->
+          List.iter
+            (fun pfn ->
+              let vec = Flash.Firewall.vector fw ~pfn in
+              let remotes =
+                cells_in_vector sys
+                  (Int64.logand vec remote_mask)
+                  ~but:c.Types.cell_id
+              in
+              let tracker =
+                match Hashtbl.find_opt c.Types.frames pfn with
+                | Some pf -> (
+                  match pf.Types.loaned_to with
+                  | Some b when alive b ->
+                    Hashtbl.find_opt sys.Types.cells.(b).Types.frames pfn
+                  | _ -> Some pf)
+                | None -> None
+              in
+              match tracker with
+              | None ->
+                note
+                  (v "firewall-grant"
+                     "cell %d pfn %d: remote write permission %Ld but no \
+                      pfdat tracks the frame"
+                     c.Types.cell_id pfn vec)
+              | Some pf ->
+                List.iter
+                  (fun r ->
+                    if not (List.mem r pf.Types.write_granted_to) then
+                      note
+                        (v "firewall-grant"
+                           "cell %d pfn %d: hardware grants cell %d write \
+                            access but no grant is recorded"
+                           c.Types.cell_id pfn r))
+                  remotes)
+            (Flash.Firewall.pages_writable_by_mask fw ~node ~mask:remote_mask))
+        c.Types.cell_nodes;
+      (* Direction 2 + dead-cell naming, over this cell's pfdat tables. *)
+      Hashtbl.iter
+        (fun _pfn (pf : Types.pfdat) ->
+          List.iter
+            (fun g ->
+              if g <> c.Types.cell_id then begin
+                if not (alive g) then
+                  note
+                    (v "firewall-grant"
+                       "cell %d pfn %d: write grant names dead cell %d"
+                       c.Types.cell_id pf.Types.pfn g);
+                let procs = sys.Types.cells.(g).Types.cell_nodes in
+                if
+                  alive g
+                  && not
+                       (List.for_all
+                          (fun proc ->
+                            Flash.Firewall.allowed fw ~pfn:pf.Types.pfn ~proc)
+                          procs)
+                then
+                  note
+                    (v "firewall-grant"
+                       "cell %d pfn %d: grant to cell %d recorded but \
+                        hardware bits are missing"
+                       c.Types.cell_id pf.Types.pfn g)
+              end)
+            pf.Types.write_granted_to;
+          List.iter
+            (fun e ->
+              if not (alive e) then
+                note
+                  (v "firewall-grant"
+                     "cell %d pfn %d: export record names dead cell %d"
+                     c.Types.cell_id pf.Types.pfn e))
+            pf.Types.exported_to;
+          (match pf.Types.imported_from with
+          | Some h when not (alive h) ->
+            note
+              (v "firewall-grant"
+                 "cell %d pfn %d: import binding names dead cell %d"
+                 c.Types.cell_id pf.Types.pfn h)
+          | _ -> ());
+          (match pf.Types.loaned_to with
+          | Some b when not (alive b) ->
+            note
+              (v "firewall-grant" "cell %d pfn %d: loan names dead cell %d"
+                 c.Types.cell_id pf.Types.pfn b)
+          | _ -> ());
+          match pf.Types.borrowed_from with
+          | Some h when not (alive h) ->
+            note
+              (v "firewall-grant" "cell %d pfn %d: borrow names dead cell %d"
+                 c.Types.cell_id pf.Types.pfn h)
+          | _ -> ())
+        c.Types.frames)
+    cells;
+  List.rev !bad
+
+(* ---------- writable mappings backed by permission ---------- *)
+
+let check_mappings (sys : Types.system) ~cells =
+  let fw = Flash.Machine.firewall sys.Types.machine in
+  let bad = ref [] in
+  List.iter
+    (fun (c : Types.cell) ->
+      List.iter
+        (fun (p : Types.process) ->
+          Hashtbl.iter
+            (fun vpage (m : Types.mapping) ->
+              if
+                m.Types.map_writable
+                && not
+                     (Flash.Firewall.allowed fw ~pfn:m.Types.map_pf.Types.pfn
+                        ~proc:(Types.boss_proc c))
+              then
+                bad :=
+                  v "mapping-grant"
+                    "cell %d pid %d vpage %d: writable mapping of pfn %d \
+                     without write permission"
+                    c.Types.cell_id p.Types.pid vpage m.Types.map_pf.Types.pfn
+                  :: !bad)
+            p.Types.mappings)
+        c.Types.processes)
+    cells;
+  List.rev !bad
+
+(* ---------- COW tree shape ---------- *)
+
+(* Walk the parent chain of every anonymous region leaf reachable from a
+   live process. The walk is purely physical (peek): tags and field
+   values are validated, visited nodes are remembered to detect cycles.
+   Nodes owned by an [exempt] cell (a deliberate corruption victim, or a
+   cell rebooted with zeroed memory) end the walk silently: damage there
+   is the injected fault itself, not a containment failure. *)
+let check_cow (sys : Types.system) ~exempt =
+  let mem = Flash.Machine.memory sys.Types.machine in
+  let ncells = Array.length sys.Types.cells in
+  let peek_i64 addr =
+    match Flash.Memory.peek mem addr 8 with
+    | b -> Some (Bytes.get_int64_le b 0)
+    | exception _ -> None
+  in
+  let field addr index =
+    peek_i64 (addr + Kmem.header_bytes + (8 * index))
+  in
+  let bad = ref [] in
+  let walk_from (c : Types.cell) (p : Types.process) (leaf : Types.cow_ref) =
+    let visited = Hashtbl.create 16 in
+    let rec walk (r : Types.cow_ref) hops =
+      let where =
+        Printf.sprintf "cell %d pid %d: cow node (%d,%#x)" c.Types.cell_id
+          p.Types.pid r.Types.cow_cell r.Types.cow_addr
+      in
+      if r.Types.cow_cell < 0 || r.Types.cow_cell >= ncells then
+        bad := v "cow-shape" "%s: owner cell out of range" where :: !bad
+      else if List.mem r.Types.cow_cell exempt then ()
+      else if not (Types.cell_alive sys.Types.cells.(r.Types.cow_cell)) then ()
+      else if hops > 10_000 then
+        bad := v "cow-shape" "%s: parent chain exceeds hop bound" where :: !bad
+      else if Hashtbl.mem visited (r.Types.cow_cell, r.Types.cow_addr) then
+        bad := v "cow-shape" "%s: cycle in parent chain" where :: !bad
+      else begin
+        Hashtbl.replace visited (r.Types.cow_cell, r.Types.cow_addr) ();
+        match peek_i64 r.Types.cow_addr with
+        | None -> bad := v "cow-shape" "%s: unreadable node" where :: !bad
+        | Some tag when tag <> Cow.cow_tag ->
+          bad := v "cow-shape" "%s: bad tag %Lx" where tag :: !bad
+        | Some _ -> (
+          match
+            ( field r.Types.cow_addr Cow.f_nentries,
+              field r.Types.cow_addr Cow.f_capacity,
+              field r.Types.cow_addr Cow.f_parent_addr,
+              field r.Types.cow_addr Cow.f_parent_cell )
+          with
+          | Some n, Some cap, Some pa, Some pc ->
+            let n = Int64.to_int n and cap = Int64.to_int cap in
+            let pa = Int64.to_int pa and pc = Int64.to_int pc in
+            if n < 0 || cap <= 0 || cap > 1 lsl 16 || n > cap then
+              bad :=
+                v "cow-shape" "%s: entry count %d/%d out of range" where n cap
+                :: !bad
+            else if pa < 0 || pc < 0 then () (* root *)
+            else walk { Types.cow_cell = pc; cow_addr = pa } (hops + 1)
+          | _ -> bad := v "cow-shape" "%s: unreadable fields" where :: !bad)
+      end
+    in
+    walk leaf 0
+  in
+  List.iter
+    (fun (c : Types.cell) ->
+      List.iter
+        (fun (p : Types.process) ->
+          List.iter
+            (fun (r : Types.region) ->
+              match r.Types.kind with
+              | Types.Anon_region leaf -> walk_from c p leaf
+              | Types.File_region _ -> ())
+            p.Types.regions)
+        c.Types.processes)
+    (live_cells sys);
+  List.rev !bad
+
+(* ---------- reference counts ---------- *)
+
+(* [pf.refs] must equal the number of process mappings whose [map_pf] is
+   (physically) that pfdat. Counting is by identity: extended pfdats for
+   the same pfn can come and go, and only pointer equality ties a mapping
+   to the generation it mapped. *)
+let check_refcounts (_sys : Types.system) ~cells =
+  let bad = ref [] in
+  List.iter
+    (fun (c : Types.cell) ->
+      let counts : (Types.pfdat * int ref) list ref = ref [] in
+      let count_for pf =
+        match List.find_opt (fun (q, _) -> q == pf) !counts with
+        | Some (_, r) -> r
+        | None ->
+          let r = ref 0 in
+          counts := (pf, r) :: !counts;
+          r
+      in
+      List.iter
+        (fun (p : Types.process) ->
+          Hashtbl.iter
+            (fun _ (m : Types.mapping) -> incr (count_for m.Types.map_pf))
+            p.Types.mappings)
+        c.Types.processes;
+      let seen : Types.pfdat list ref = ref [] in
+      let check pf =
+        if not (List.memq pf !seen) then begin
+          seen := pf :: !seen;
+          let expect =
+            match List.find_opt (fun (q, _) -> q == pf) !counts with
+            | Some (_, r) -> !r
+            | None -> 0
+          in
+          if pf.Types.refs <> expect then
+            bad :=
+              v "refcount" "cell %d pfn %d: refs=%d but %d mapping(s) exist"
+                c.Types.cell_id pf.Types.pfn pf.Types.refs expect
+              :: !bad
+        end
+      in
+      Hashtbl.iter (fun _ pf -> check pf) c.Types.frames;
+      Hashtbl.iter (fun _ pf -> check pf) c.Types.page_hash;
+      (* Mappings must point at live pfdats, not freed generations. *)
+      List.iter (fun (pf, _) -> check pf) !counts)
+    cells;
+  List.rev !bad
+
+(* ---------- gate / recovery state machine ---------- *)
+
+let check_gate (sys : Types.system) =
+  let bad = ref [] in
+  let note x = bad := x :: !bad in
+  if sys.Types.recovery_round_active then
+    note (v "gate-state" "recovery round marked active at quiesce");
+  List.iter
+    (fun (c : Types.cell) ->
+      if not c.Types.user_gate_open then
+        note
+          (v "gate-state" "cell %d: user gate closed outside recovery"
+             c.Types.cell_id);
+      if c.Types.in_recovery then
+        note
+          (v "gate-state" "cell %d: in_recovery set outside recovery"
+             c.Types.cell_id);
+      if c.Types.recovery_active then
+        note
+          (v "gate-state" "cell %d: recovery thread marked active at quiesce"
+             c.Types.cell_id);
+      (* Live-set agreement: every live cell sees exactly the live cells. *)
+      Array.iter
+        (fun (o : Types.cell) ->
+          let should = Types.cell_alive o in
+          let does = List.mem o.Types.cell_id c.Types.live_set in
+          if should && not does then
+            note
+              (v "gate-state" "cell %d: live cell %d missing from live set"
+                 c.Types.cell_id o.Types.cell_id);
+          if (not should) && does then
+            note
+              (v "gate-state" "cell %d: dead cell %d still in live set"
+                 c.Types.cell_id o.Types.cell_id))
+        sys.Types.cells)
+    (live_cells sys);
+  List.rev !bad
+
+(* ---------- RPC no-orphan ---------- *)
+
+let rpc_snapshot (sys : Types.system) =
+  Array.to_list sys.Types.cells
+  |> List.concat_map (fun (c : Types.cell) ->
+         if Types.cell_alive c then
+           Hashtbl.fold
+             (fun key _ acc -> (c.Types.cell_id, key) :: acc)
+             c.Types.pending_calls []
+           |> List.sort compare
+         else [])
+
+let check_rpc_drained (sys : Types.system) ~snapshot =
+  List.filter_map
+    (fun (cell_id, key) ->
+      let c = sys.Types.cells.(cell_id) in
+      if Types.cell_alive c && Hashtbl.mem c.Types.pending_calls key then
+        Some
+          (v "rpc-orphan"
+             "cell %d call %d: still pending after the drain window (no \
+              reply, no dead-peer error)"
+             cell_id key)
+      else None)
+    snapshot
+
+(* ---------- entry point ---------- *)
+
+let check ?(exempt = []) (sys : Types.system) =
+  if sys.Types.recovery_in_progress then []
+  else begin
+    (* Per-cell checks skip the exempt cells: deliberate corruption of a
+       cell's own state is the injected fault, not a containment failure;
+       what matters is that every *other* cell stays coherent. *)
+    let scan =
+      live_cells sys
+      |> List.filter (fun (c : Types.cell) ->
+             not (List.mem c.Types.cell_id exempt))
+    in
+    check_firewall sys ~cells:scan
+    @ check_mappings sys ~cells:scan
+    @ check_cow sys ~exempt
+    @ check_refcounts sys ~cells:scan
+    @ check_gate sys
+  end

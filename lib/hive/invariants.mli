@@ -1,0 +1,38 @@
+(** System-wide invariant checkers for deterministic simulation testing.
+
+    Each checker inspects the whole simulated machine — hardware firewall
+    vectors, pfdat tables, COW trees in kernel memory, RPC bookkeeping,
+    gate/recovery state — and reports violations of the properties the
+    paper's fault-containment argument rests on. The fuzzer runs them at
+    quiesce points and at end-of-run; a clean fault-free run and a clean
+    fault-injected run must both report zero violations.
+
+    Checks use [Flash.Memory.peek] (no simulated latency, no liveness
+    checks), so they can run outside any simulation thread without
+    perturbing the run they observe. *)
+
+type violation = {
+  inv : string;  (** checker name, e.g. "firewall-grant" *)
+  detail : string;
+}
+
+val to_string : violation -> string
+
+(** Run every instantaneous checker. A no-op (returns []) while recovery is
+    in progress: the properties only hold at quiesce points.
+
+    [exempt] lists cells whose kernel data was deliberately corrupted or
+    destroyed (fault-injection victims, cells that failed and were
+    rebooted with zeroed memory): walks stop silently at their nodes and
+    their containment is judged by the other cells' checkers instead. *)
+val check : ?exempt:Types.cell_id list -> Types.system -> violation list
+
+(** Snapshot of outstanding client-side RPC calls as [(cell, call_id)]
+    pairs. Used with {!check_rpc_drained} for the no-orphan property. *)
+val rpc_snapshot : Types.system -> (Types.cell_id * int) list
+
+(** Every call in [snapshot] must have completed (reply or dead-peer
+    error) by now; calls still pending are orphans. Take the snapshot,
+    advance the simulation past the longest RPC timeout, then call this. *)
+val check_rpc_drained :
+  Types.system -> snapshot:(Types.cell_id * int) list -> violation list

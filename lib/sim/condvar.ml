@@ -4,7 +4,8 @@ let create () = { waiters = [] }
 
 let wait eng cv m =
   Mutex.unlock eng m;
-  Engine.suspend (fun thr -> cv.waiters <- cv.waiters @ [ thr ]);
+  Engine.suspend ~site:"condvar.wait" (fun thr ->
+      cv.waiters <- cv.waiters @ [ thr ]);
   Mutex.lock eng m
 
 let signal eng cv =

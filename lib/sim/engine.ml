@@ -13,6 +13,7 @@ type thread = {
   mutable cont : (unit, unit) Effect.Deep.continuation option;
   mutable timers : event list;
   mutable on_exit : (unit -> unit) list;
+  mutable site : string;
 }
 
 type t = {
@@ -23,6 +24,8 @@ type t = {
   mutable current : thread option;
   mutable live : int;
   mutable crash_handler : thread -> exn -> unit;
+  threads : (int, thread) Hashtbl.t;
+  mutable jitter : Prng.t option;
 }
 
 type _ Effect.t +=
@@ -39,7 +42,9 @@ let create () =
       next_tid = 0;
       current = None;
       live = 0;
-      crash_handler = (fun _ _ -> ()) }
+      crash_handler = (fun _ _ -> ());
+      threads = Hashtbl.create 64;
+      jitter = None }
   in
   eng.crash_handler <-
     (fun thr e ->
@@ -60,11 +65,23 @@ let current_tid eng =
 
 let set_crash_handler eng f = eng.crash_handler <- f
 
+let set_jitter eng prng = eng.jitter <- prng
+
+(* With jitter enabled, perturb the low bits of the tie-break sequence
+   number so that events scheduled for the same virtual instant may pop in
+   a different (but still seed-deterministic) order. Events at different
+   times are never reordered, so causality is preserved; only the
+   interleaving of logically-concurrent events varies across seeds. *)
 let schedule_at eng time act =
   let time = if Int64.compare time eng.now < 0 then eng.now else time in
   eng.seq <- eng.seq + 1;
+  let seq =
+    match eng.jitter with
+    | None -> eng.seq
+    | Some p -> eng.seq lxor Prng.int p 8
+  in
   let e = { cancelled = false; act } in
-  Heap.push eng.events ~time ~seq:eng.seq e;
+  Heap.push eng.events ~time ~seq e;
   e
 
 let schedule eng ~after act =
@@ -114,6 +131,7 @@ let kill eng thr =
 let finish eng thr =
   thr.dead <- true;
   eng.live <- eng.live - 1;
+  Hashtbl.remove eng.threads thr.tid;
   List.iter cancel thr.timers;
   thr.timers <- [];
   List.iter (fun f -> f ()) (List.rev thr.on_exit);
@@ -160,9 +178,11 @@ let spawn ?(name = "thread") ?(at = None) eng body =
       dead = false;
       cont = None;
       timers = [];
-      on_exit = [] }
+      on_exit = [];
+      site = "spawned" }
   in
   eng.live <- eng.live + 1;
+  Hashtbl.replace eng.threads thr.tid thr;
   let start () =
     if thr.dead then
       (* Killed before it ever ran: just account for its exit. *)
@@ -185,11 +205,17 @@ let self () = Effect.perform E_self
 
 let time () = Effect.perform E_now
 
-let delay ns = if Int64.compare ns 0L > 0 then Effect.perform (E_delay ns)
+let delay ns =
+  if Int64.compare ns 0L > 0 then begin
+    (self ()).site <- "delay";
+    Effect.perform (E_delay ns)
+  end
 
 let yield () = Effect.perform (E_delay 0L)
 
-let suspend register = Effect.perform (E_suspend register)
+let suspend ?(site = "suspend") register =
+  (self ()).site <- site;
+  Effect.perform (E_suspend register)
 
 let at_exit_thread f =
   let thr = self () in
@@ -225,3 +251,23 @@ let run_until_quiescent eng = run eng
 let live_threads eng = eng.live
 
 let pending_events eng = Heap.length eng.events
+
+(* Live threads sorted by tid; when the event queue has drained these are
+   exactly the threads parked on a suspend with no waker left. *)
+let blocked_threads eng =
+  Hashtbl.fold (fun _ thr acc -> thr :: acc) eng.threads []
+  |> List.filter (fun thr -> not thr.dead)
+  |> List.sort (fun a b -> compare a.tid b.tid)
+
+let check_deadlock eng =
+  if eng.live > 0 && Heap.is_empty eng.events then begin
+    let blocked = blocked_threads eng in
+    let desc thr =
+      Printf.sprintf "tid %d %S blocked at %s" thr.tid thr.name thr.site
+    in
+    raise
+      (Deadlock
+         (Printf.sprintf "deadlock: %d thread(s) made no progress: %s"
+            (List.length blocked)
+            (String.concat "; " (List.map desc blocked))))
+  end

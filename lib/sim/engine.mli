@@ -14,6 +14,9 @@
     cleanup runs. *)
 exception Killed
 
+(** Raised by {!check_deadlock} when live threads remain but the event queue
+    has drained. The message names every blocked thread: tid, name, and the
+    suspend site recorded by the last {!suspend}/{!delay}. *)
 exception Deadlock of string
 
 (** Cancellable timer handle. *)
@@ -26,6 +29,9 @@ type thread = {
   mutable cont : (unit, unit) Effect.Deep.continuation option;
   mutable timers : timer list;
   mutable on_exit : (unit -> unit) list;
+  mutable site : string;
+      (** Label of the last blocking point ("barrier.await", "rpc.call",
+          ...); the Deadlock message quotes it for triage. *)
 }
 
 type t
@@ -42,6 +48,13 @@ val current_tid : t -> int
 (** Replace the handler invoked when a thread raises an uncaught exception.
     The default re-raises, aborting the simulation loudly. *)
 val set_crash_handler : t -> (thread -> exn -> unit) -> unit
+
+(** Install (or clear) a scheduler-jitter generator. When set, the tie-break
+    sequence number of newly scheduled events is perturbed with bits from
+    the generator, so logically-concurrent events (same virtual time) may
+    interleave differently across seeds while each seed stays exactly
+    replayable. Events at different virtual times are never reordered. *)
+val set_jitter : t -> Prng.t option -> unit
 
 (** Schedule a callback at an absolute virtual time (clamped to now). *)
 val schedule_at : t -> int64 -> (unit -> unit) -> timer
@@ -87,8 +100,9 @@ val delay : int64 -> unit
 val yield : unit -> unit
 
 (** Low-level block: parks the current thread and passes it to [register],
-    which stores it where a future waker can {!resume} it. *)
-val suspend : (thread -> unit) -> unit
+    which stores it where a future waker can {!resume} it. [site] labels the
+    blocking point for deadlock reports. *)
+val suspend : ?site:string -> (thread -> unit) -> unit
 
 (** Register a cleanup to run when the current thread exits (normally,
     by exception, or killed). *)
@@ -104,3 +118,13 @@ val run_until_quiescent : t -> unit
 val live_threads : t -> int
 
 val pending_events : t -> int
+
+(** Live (not yet finished) threads, sorted by tid. After {!run} returns
+    with an empty queue these are exactly the blocked threads. *)
+val blocked_threads : t -> thread list
+
+(** Raise {!Deadlock} — naming every blocked thread — if live threads remain
+    but the event queue is empty, i.e. nothing can ever make progress.
+    Call after {!run} returns; a no-op when the simulation quiesced
+    cleanly or was merely stopped at [until]. *)
+val check_deadlock : t -> unit

@@ -27,7 +27,7 @@ let receive ?timeout eng m =
   | Some _ as r -> r
   | None ->
     let slot = ref None in
-    Engine.suspend (fun thr ->
+    Engine.suspend ~site:"mailbox.receive" (fun thr ->
         m.waiters <- m.waiters @ [ { slot; thread = thr } ];
         match timeout with
         | None -> ()

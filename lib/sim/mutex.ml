@@ -16,7 +16,8 @@ let lock eng m =
     match m.holder with
     | None -> m.holder <- Some me
     | Some _ ->
-      Engine.suspend (fun thr -> m.waiters <- m.waiters @ [ thr ]);
+      Engine.suspend ~site:"mutex.lock" (fun thr ->
+          m.waiters <- m.waiters @ [ thr ]);
       ignore eng;
       wait ()
   in

@@ -2,6 +2,8 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int (seed lxor 0x5851f42d) }
 
+let of_int64 seed = { state = Int64.logxor seed 0x5851F42D4C957F2DL }
+
 (* splitmix64: tiny, fast, and good enough for workload synthesis. *)
 let next t =
   let open Int64 in

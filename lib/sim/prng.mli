@@ -8,6 +8,10 @@ type t
 
 val create : int -> t
 
+(** Seed from a full 64-bit value (fuzzer seeds are 64-bit; [create] folds
+    through [int] and loses the sign bit). *)
+val of_int64 : int64 -> t
+
 (** Next raw 64-bit value. *)
 val next : t -> int64
 

@@ -10,7 +10,8 @@ let acquire _eng s =
   let rec wait () =
     if s.count > 0 then s.count <- s.count - 1
     else begin
-      Engine.suspend (fun thr -> s.waiters <- s.waiters @ [ thr ]);
+      Engine.suspend ~site:"semaphore.acquire" (fun thr ->
+          s.waiters <- s.waiters @ [ thr ]);
       wait ()
     end
   in

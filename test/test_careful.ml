@@ -150,6 +150,61 @@ let test_latency_close_to_paper () =
             true
             (avg_ns > 1000. && avg_ns < 1500.)))
 
+(* Property: whatever corrupt pointer, bounds or tag value a remote cell
+   serves up, the careful protocol converts it into a *typed* failure —
+   an [Error reason] from [protect] — never an uncaught exception and
+   never silent acceptance of a corrupt value. 1,000 seeded-random cases
+   across the three corruption families. *)
+let test_random_corrupt_values_always_typed_failure () =
+  with_sys (fun _eng sys ->
+      in_thread sys (fun () ->
+          let rng = Sim.Prng.create 0xC0FFEE in
+          let c1 = sys.Hive.Types.cells.(1) in
+          let mem_end =
+            sys.Hive.Types.mcfg.Flash.Config.nodes
+            * Flash.Config.mem_bytes_per_node sys.Hive.Types.mcfg
+          in
+          let rejected = ref 0 in
+          for i = 0 to 999 do
+            let result =
+              Hive.Careful_ref.protect sys (reader sys) ~target:1 (fun ctx ->
+                  match i mod 3 with
+                  | 0 ->
+                    (* Misaligned pointer inside the right cell. *)
+                    let addr =
+                      c1.Hive.Types.clock_addr
+                      + (8 * Sim.Prng.int rng 256)
+                      + 1 + Sim.Prng.int rng 7
+                    in
+                    Hive.Careful_ref.read_i64 ctx addr
+                  | 1 ->
+                    (* Aligned pointer outside the expected cell: either
+                       in cell 0's memory or off the end of RAM. *)
+                    let addr =
+                      if Sim.Prng.bool rng then 8 * Sim.Prng.int rng 512
+                      else mem_end + (8 * Sim.Prng.int rng 100_000)
+                    in
+                    Hive.Careful_ref.read_i64 ctx addr
+                  | _ ->
+                    (* Valid pointer, corrupt type tag. The wax slot
+                       holds 0 with wax disabled, so any nonzero expected
+                       tag must be rejected. *)
+                    let addr = c1.Hive.Types.wax_slot in
+                    let expected =
+                      Int64.of_int (1 + Sim.Prng.int rng 0xFFFFFF)
+                    in
+                    Hive.Careful_ref.check_tag ctx ~addr ~expected;
+                    0L)
+            in
+            match result with
+            | Error _ -> incr rejected
+            | Ok v ->
+              Alcotest.failf "case %d: corrupt value silently accepted (%Ld)"
+                i v
+          done;
+          Alcotest.(check int) "all 1000 corrupt values rejected" 1000
+            !rejected))
+
 let suite =
   [
     Alcotest.test_case "valid remote read succeeds" `Quick test_valid_read;
@@ -171,4 +226,6 @@ let suite =
       test_reader_survives_and_counts;
     Alcotest.test_case "latency near the paper's 1.16 us" `Quick
       test_latency_close_to_paper;
+    Alcotest.test_case "1000 random corrupt values -> typed failures" `Quick
+      test_random_corrupt_values_always_typed_failure;
   ]

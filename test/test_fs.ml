@@ -182,6 +182,63 @@ let test_generation_bump_gives_eio_locally () =
       run_to_completion sys p;
       Alcotest.(check bool) "EIO on stale descriptor" true !got_eio)
 
+(* The full preemptive-discard path, not a simulated note_discard: cell 1
+   holds a dirty write grant on a cell-0 file when its node fail-stops.
+   Recovery discards the dirty page and bumps the generation, so the
+   pre-failure descriptor returns EIO while a fresh open sees the last
+   synced data under the new generation. *)
+let test_preemptive_discard_reopen_after_failure () =
+  with_sys (fun _eng sys ->
+      let creator =
+        in_proc sys ~on:0 ~name:"creator" (fun sys p ->
+            let fd =
+              Hive.Syscall.creat sys p
+                ~content:(Bytes.of_string "stable-data")
+                "/tmp/disc.txt"
+            in
+            Hive.Syscall.close sys p ~fd;
+            Hive.Syscall.sync sys p)
+      in
+      run_to_completion sys creator;
+      (* Dirty remote write, held open across the failure. *)
+      let _writer =
+        in_proc sys ~on:1 ~name:"dirty-writer" (fun sys q ->
+            let fd = Hive.Syscall.openf sys q ~writable:true "/tmp/disc.txt" in
+            ignore
+              (Hive.Syscall.pwrite sys q ~fd ~pos:0 (Bytes.of_string "DIRTY"));
+            (* Hold the import until the node dies under us. *)
+            Hive.Syscall.compute sys q 60_000_000_000L)
+      in
+      ignore
+        (Sim.Engine.spawn sys.Hive.Types.eng ~name:"injector" (fun () ->
+             Sim.Engine.delay 300_000_000L;
+             Hive.System.inject_node_failure sys 1));
+      let stale_eio = ref false in
+      let gen_old = ref (-1) and gen_new = ref (-1) in
+      let reopened = ref Bytes.empty in
+      let reader =
+        in_proc sys ~on:0 ~name:"reader" (fun sys p ->
+            let fd = Hive.Syscall.openf sys p "/tmp/disc.txt" in
+            gen_old := (Hive.Syscall.fd_of p fd).Hive.Types.opened_gen;
+            (* Wait out the failure, recovery and reintegration. *)
+            Hive.Syscall.compute sys p 3_000_000_000L;
+            (try ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:6)
+             with Hive.Types.Syscall_error Hive.Types.EIO ->
+               stale_eio := true);
+            let fd2 = Hive.Syscall.openf sys p "/tmp/disc.txt" in
+            gen_new := (Hive.Syscall.fd_of p fd2).Hive.Types.opened_gen;
+            reopened := Hive.Syscall.pread sys p ~fd:fd2 ~pos:0 ~len:11)
+      in
+      let ok =
+        Hive.System.run_until_processes_done sys ~deadline:120_000_000_000L
+          [ reader ]
+      in
+      Alcotest.(check bool) "reader finished" true ok;
+      Alcotest.(check bool) "pre-failure fd got EIO" true !stale_eio;
+      Alcotest.(check bool) "generation bumped" true (!gen_new > !gen_old);
+      Alcotest.(check string) "reopen sees last synced data" "stable-data"
+        (Bytes.to_string !reopened))
+
 let test_close_releases_imports () =
   with_sys (fun _eng sys ->
       let p =
@@ -287,6 +344,8 @@ let suite =
     Alcotest.test_case "remote unlink" `Quick test_remote_unlink;
     Alcotest.test_case "generation bump -> EIO on old fd only" `Quick
       test_generation_bump_gives_eio_locally;
+    Alcotest.test_case "preemptive discard: reopen fresh, old fd EIO" `Quick
+      test_preemptive_discard_reopen_after_failure;
     Alcotest.test_case "close releases import bindings" `Quick
       test_close_releases_imports;
     Alcotest.test_case "exported pages are pinned against reclaim" `Quick

@@ -1,0 +1,72 @@
+(* Tests for the deterministic simulation fuzzer: seed replay is
+   bit-for-bit, clean seeds report zero violations, and a deliberately
+   planted containment bug is caught by the invariant checkers and shrunk
+   to a minimal reproducer. *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_plan_of_seed_deterministic () =
+  let a = Faultinj.Fuzz.plan_of_seed 42L in
+  let b = Faultinj.Fuzz.plan_of_seed 42L in
+  Alcotest.(check string) "same plan" (Faultinj.Fuzz.describe_plan a)
+    (Faultinj.Fuzz.describe_plan b);
+  let c = Faultinj.Fuzz.plan_of_seed 43L in
+  Alcotest.(check bool) "different seeds differ" true
+    (Faultinj.Fuzz.describe_plan a <> Faultinj.Fuzz.describe_plan c)
+
+let test_replay_is_byte_identical () =
+  let plan = Faultinj.Fuzz.plan_of_seed 2L in
+  let a = Faultinj.Fuzz.record_to_json (Faultinj.Fuzz.run_plan plan) in
+  let b = Faultinj.Fuzz.record_to_json (Faultinj.Fuzz.run_plan plan) in
+  Alcotest.(check string) "two replays byte-identical" a b
+
+let test_clean_seeds_zero_violations () =
+  List.iter
+    (fun seed ->
+      let r = Faultinj.Fuzz.run_plan (Faultinj.Fuzz.plan_of_seed seed) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %Ld clean" seed)
+        [] r.Faultinj.Fuzz.r_violations)
+    [ 1L; 3L; 8L ]
+
+(* Seed 4 derives a plan whose fault lands; with [demo_bug] the harness
+   then plants a firewall grant the kernel never recorded. The checkers
+   must catch it, and shrinking must converge to at most two faults while
+   still failing. *)
+let test_demo_bug_caught_and_shrunk () =
+  let plan = Faultinj.Fuzz.plan_of_seed 4L in
+  let r = Faultinj.Fuzz.run_plan ~demo_bug:true plan in
+  Alcotest.(check bool) "planted bug detected" true (Faultinj.Fuzz.failed r);
+  Alcotest.(check bool) "firewall checker named it" true
+    (List.exists
+       (fun v -> contains v "firewall")
+       r.Faultinj.Fuzz.r_violations);
+  let p', r' = Faultinj.Fuzz.shrink ~demo_bug:true plan in
+  Alcotest.(check bool) "shrunk plan still fails" true
+    (Faultinj.Fuzz.failed r');
+  Alcotest.(check bool) "shrunk to <= 2 faults" true
+    (List.length p'.Faultinj.Fuzz.faults <= 2);
+  Alcotest.(check bool) "jitter shrunk away" false p'.Faultinj.Fuzz.jitter
+
+let test_clean_plan_does_not_shrink () =
+  let plan = Faultinj.Fuzz.plan_of_seed 1L in
+  match Faultinj.Fuzz.shrink plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shrinking a passing plan must be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "plan derivation is deterministic" `Quick
+      test_plan_of_seed_deterministic;
+    Alcotest.test_case "seed replay is byte-identical" `Slow
+      test_replay_is_byte_identical;
+    Alcotest.test_case "clean seeds report zero violations" `Slow
+      test_clean_seeds_zero_violations;
+    Alcotest.test_case "planted containment bug caught and shrunk" `Slow
+      test_demo_bug_caught_and_shrunk;
+    Alcotest.test_case "shrink rejects passing plans" `Slow
+      test_clean_plan_does_not_shrink;
+  ]

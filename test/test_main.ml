@@ -13,4 +13,6 @@ let () =
       ("ssi", Test_ssi.suite);
       ("workloads", Test_workloads.suite);
       ("observability", Test_observability.suite);
+      ("wax-swap", Test_wax_swap.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -398,6 +398,41 @@ let qcheck_mailbox_preserves_messages =
       Sim.Engine.run eng;
       List.rev !got = msgs)
 
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_deadlock_names_blocked_threads () =
+  let eng = Sim.Engine.create () in
+  let mb = Sim.Mailbox.create () in
+  ignore
+    (Sim.Engine.spawn eng ~name:"rpc.server" (fun () ->
+         ignore (Sim.Mailbox.receive eng mb)));
+  ignore
+    (Sim.Engine.spawn eng ~name:"waiter" (fun () ->
+         Sim.Engine.delay 10L;
+         ignore (Sim.Ivar.read eng (Sim.Ivar.create ()))));
+  Sim.Engine.run eng;
+  match Sim.Engine.check_deadlock eng with
+  | () -> Alcotest.fail "deadlock not reported"
+  | exception Sim.Engine.Deadlock msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "message mentions %S" needle)
+          true (contains msg needle))
+      [
+        "2 thread"; "tid"; "rpc.server"; "mailbox.receive"; "waiter";
+        "ivar.read";
+      ]
+
+let test_no_deadlock_when_all_exit () =
+  let eng = Sim.Engine.create () in
+  ignore (Sim.Engine.spawn eng ~name:"a" (fun () -> Sim.Engine.delay 5L));
+  Sim.Engine.run eng;
+  Sim.Engine.check_deadlock eng
+
 let suite =
   [
     Alcotest.test_case "clock advances with delays" `Quick test_clock_advances;
@@ -430,6 +465,10 @@ let suite =
       test_barrier_remove_party;
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
     Alcotest.test_case "condvar signal" `Quick test_condvar;
+    Alcotest.test_case "deadlock report names blocked threads" `Quick
+      test_deadlock_names_blocked_threads;
+    Alcotest.test_case "no deadlock when all threads exit" `Quick
+      test_no_deadlock_when_all_exit;
     QCheck_alcotest.to_alcotest qcheck_heap_ordered;
     QCheck_alcotest.to_alcotest qcheck_prng_bounds;
     QCheck_alcotest.to_alcotest qcheck_mailbox_preserves_messages;
