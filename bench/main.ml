@@ -14,6 +14,7 @@
      wax                  Table 3.4: policy hints round-trip
      hw-features          Table 8.1: custom hardware self-checks
      ablations            Design-choice ablations (not in the paper)
+     rpc-resilience       At-most-once RPC transport on a degraded link
      fuzz                 DST fuzzer throughput (campaigns/s, sim speedup)
      simulator            Bechamel micro-benchmarks of the simulator itself
 *)
@@ -726,6 +727,74 @@ let recovery_discard_bench () =
   if old_us <= new_us then
     failwith "recovery-discard: masked scan must beat per-processor scans"
 
+(* ---------- RPC transport resilience under link degradation ---------- *)
+
+(* Hammer one server through a degraded link (drops, duplicates, delays
+   from a seeded PRNG — fully deterministic) and report how the at-most-once
+   transport rode it out. The agreement hint path is detached so the bench
+   isolates the transport; the fuzzer exercises the interplay. *)
+let rpc_resilience () =
+  section_header "rpc-resilience (at-most-once transport on a degraded link)";
+  let eng, sys = boot ~ncells:2 () in
+  register_bench_ops ();
+  sys.Hive.Types.on_hint <- None;
+  let sips = Flash.Machine.sips sys.Hive.Types.machine in
+  Flash.Sips.degrade sips ~rng:(Sim.Prng.create 42)
+    {
+      (* Target the server cell's boss node, where its requests land. *)
+      Flash.Sips.deg_from = -1;
+      deg_to = sys.Hive.Types.cells.(1).Hive.Types.boss_node;
+      from_ns = 0L;
+      until_ns = Int64.max_int;
+      drop_pct = 25;
+      dup_pct = 25;
+      delay_pct = 25;
+      max_delay_ns = 1_000_000L;
+    };
+  let n = 400 in
+  let ok = ref 0 and gave_up = ref 0 in
+  let total_ns =
+    timed_in_thread eng (fun () ->
+        for _ = 1 to n do
+          match
+            Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
+              ~op:noop_op ~timeout_ns:2_000_000L Hive.Types.P_unit
+          with
+          | Ok _ -> incr ok
+          | Error _ -> incr gave_up
+        done)
+  in
+  let c0 = sys.Hive.Types.cells.(0) in
+  let c1 = sys.Hive.Types.cells.(1) in
+  let c cell name = Sim.Stats.value cell.Hive.Types.counters name in
+  row "%d calls over a link dropping/duplicating/delaying 25%% each" n;
+  row "completed %d, gave up after full retry budget %d   (%.1f ms simulated)"
+    !ok !gave_up
+    (Int64.to_float total_ns /. 1e6);
+  row "link damage: %d dropped, %d duplicated, %d delayed"
+    (Flash.Sips.drop_count sips)
+    (Flash.Sips.dup_count sips)
+    (Flash.Sips.delay_count sips);
+  row "client: %d retransmits, %d timeouts, %d late replies"
+    (c c0 "rpc.retransmits") (c c0 "rpc.timeouts") (c c0 "rpc.late_replies");
+  row "server: %d requests seen, %d retransmits seen, %d duplicates suppressed"
+    (c c1 "rpc.served")
+    (c c1 "rpc.retransmits_seen")
+    (c c1 "rpc.dup_suppressed");
+  if !ok + !gave_up <> n then failwith "rpc-resilience: calls went missing";
+  if !ok < n * 9 / 10 then
+    failwith "rpc-resilience: < 90% of calls survived the degraded link";
+  if c c0 "rpc.retransmits" = 0 then
+    failwith "rpc-resilience: expected retransmissions under 25% drop";
+  if c c1 "rpc.dup_suppressed" = 0 then
+    failwith "rpc-resilience: expected the reply cache to suppress duplicates";
+  (* The transport must deliver at-most-once semantics throughout. *)
+  match Hive.Invariants.check_rpc_at_most_once sys with
+  | [] -> row "at-most-once audit: clean"
+  | v :: _ ->
+    failwith
+      ("rpc-resilience: duplicate execution: " ^ Hive.Invariants.to_string v)
+
 (* ---------- fuzzer throughput ---------- *)
 
 (* Wall-clock throughput of the DST harness: how many randomized fault
@@ -823,6 +892,7 @@ let all_sections =
     ("table-7.4", fun () -> table_7_4 ());
     ("wax", wax_bench);
     ("recovery-discard", recovery_discard_bench);
+    ("rpc-resilience", rpc_resilience);
     ("fuzz", fuzz_bench);
     ("hw-features", hw_features);
     ("ablations", ablations);

@@ -106,8 +106,8 @@ let run_sweep name =
 
 (* ---- fault command ---- *)
 
-let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
-    metrics_json =
+let run_fault kind ncells node victim at_ms cascade_node oracle link_from
+    drop_pct dup_pct delay_pct dur_ms trace_out metrics_json =
   let eng, sys = boot ~ncells ~smp:false ~oracle in
   let trace_close = attach_trace sys trace_out in
   Workloads.Pmake.setup sys Workloads.Pmake.default;
@@ -163,6 +163,24 @@ let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
              end
            in
            attempt 100
+         | "link" ->
+           (* Degrade the interconnect into --node for --dur-ms: drops,
+              duplicates and delays per the given percentages. The kernels
+              must ride it out with retransmission and reply caching. *)
+           ignore
+             (Faultinj.Campaign.inject sys rng
+                (Faultinj.Campaign.Link_degrade
+                   {
+                     deg_from = link_from;
+                     deg_to = node;
+                     at_ns = Sim.Engine.time ();
+                     dur_ns = Int64.of_int (dur_ms * 1_000_000);
+                     drop_pct;
+                     dup_pct;
+                     delay_pct;
+                     max_delay_ns = 2_000_000L;
+                     salt = 0x51EED5A17L;
+                   }))
          | other -> failwith ("unknown fault kind: " ^ other)));
   let result, _ = Workloads.Pmake.run sys in
   Printf.printf "pmake with %s fault: %.3f s simulated, %s\n" kind
@@ -185,6 +203,27 @@ let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
   Printf.printf "live cells: [%s]\n"
     (String.concat "; "
        (List.map string_of_int (Hive.System.live_cells sys)));
+  if kind = "link" then begin
+    let per name =
+      Array.fold_left
+        (fun acc (c : Hive.Types.cell) ->
+          acc + Sim.Stats.value c.Hive.Types.counters name)
+        0 sys.Hive.Types.cells
+    in
+    let sips = Flash.Machine.sips sys.Hive.Types.machine in
+    Printf.printf
+      "sips damage: %d dropped, %d duplicated, %d delayed (of %d sends)\n"
+      (Flash.Sips.drop_count sips)
+      (Flash.Sips.dup_count sips)
+      (Flash.Sips.delay_count sips)
+      (Flash.Sips.send_count sips);
+    Printf.printf
+      "rpc transport: %d retransmits, %d duplicates suppressed, %d stale \
+       drops, %d late replies\n"
+      (per "rpc.retransmits") (per "rpc.dup_suppressed")
+      (per "rpc.stale_reply_drops" + per "rpc.stale_request_drops")
+      (per "rpc.late_replies")
+  end;
   let corrupt =
     List.filter
       (fun (_, v) -> v = Workloads.Workload.Corrupt)
@@ -196,7 +235,7 @@ let run_fault kind ncells node victim at_ms cascade_node oracle trace_out
 
 (* ---- fuzz command ---- *)
 
-let run_fuzz seeds seed_base replay shrink_flag out demo_bug =
+let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug =
   let out_chan = Option.map open_out out in
   let emit r =
     match out_chan with
@@ -205,16 +244,16 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug =
   in
   let run_one seed =
     let plan = Faultinj.Fuzz.plan_of_seed seed in
-    let r = Faultinj.Fuzz.run_plan ~demo_bug plan in
+    let r = Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug plan in
     emit r;
     if Faultinj.Fuzz.failed r then begin
       Printf.printf "FAIL %s\n" (Faultinj.Fuzz.record_to_json r);
       (* Replay the failing seed with a Chrome trace for post-mortem. *)
       let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
-      ignore (Faultinj.Fuzz.run_plan ~demo_bug ~trace_out:trace plan);
+      ignore (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~trace_out:trace plan);
       Printf.printf "  trace written to %s\n" trace;
       if shrink_flag then begin
-        let p', r' = Faultinj.Fuzz.shrink ~demo_bug plan in
+        let p', r' = Faultinj.Fuzz.shrink ~demo_bug ~dup_bug plan in
         Printf.printf "  shrunk to: %s\n" (Faultinj.Fuzz.describe_plan p');
         Printf.printf "  %s\n" (Faultinj.Fuzz.record_to_json r')
       end;
@@ -302,12 +341,47 @@ let fault_kind =
         (some
            (enum
               [ ("node", "node"); ("corrupt-cow", "corrupt-cow");
-                ("corrupt-map", "corrupt-map") ]))
+                ("corrupt-map", "corrupt-map"); ("link", "link") ]))
         None
-    & info [] ~docv:"KIND" ~doc:"node, corrupt-cow or corrupt-map.")
+    & info [] ~docv:"KIND" ~doc:"node, corrupt-cow, corrupt-map or link.")
 
 let node_arg =
-  Arg.(value & opt int 2 & info [ "node" ] ~docv:"N" ~doc:"Node to fail.")
+  Arg.(
+    value & opt int 2
+    & info [ "node" ] ~docv:"N"
+        ~doc:"Node to fail (or the degraded link's destination node).")
+
+let link_from_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "link-from" ] ~docv:"PROC"
+        ~doc:
+          "With the link fault kind: source processor of the degraded \
+           link (-1 = any).")
+
+let drop_pct_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "drop-pct" ] ~docv:"PCT"
+        ~doc:"Link fault: percentage of messages dropped.")
+
+let dup_pct_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "dup-pct" ] ~docv:"PCT"
+        ~doc:"Link fault: percentage of messages duplicated.")
+
+let delay_pct_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "delay-pct" ] ~docv:"PCT"
+        ~doc:"Link fault: percentage of messages delayed (up to 2 ms).")
+
+let dur_ms_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "dur-ms" ] ~docv:"MS"
+        ~doc:"Link fault: window duration in milliseconds.")
 
 let victim_arg =
   Arg.(
@@ -341,8 +415,9 @@ let fault_cmd =
        ~doc:"Inject a fault during pmake and report containment.")
     Term.(
       const run_fault $ fault_kind $ cells_arg $ node_arg $ victim_arg
-      $ at_ms_arg $ cascade_node_arg $ oracle_arg $ trace_out_arg
-      $ metrics_json_arg)
+      $ at_ms_arg $ cascade_node_arg $ oracle_arg $ link_from_arg
+      $ drop_pct_arg $ dup_pct_arg $ delay_pct_arg $ dur_ms_arg
+      $ trace_out_arg $ metrics_json_arg)
 
 let seeds_arg =
   Arg.(
@@ -383,6 +458,16 @@ let demo_bug_arg =
           "(testing) Plant a deliberate containment bug — a firewall grant \
            the kernel never recorded — to prove the checkers catch it.")
 
+let dup_bug_arg =
+  Arg.(
+    value & flag
+    & info [ "demo-dup-bug" ]
+        ~doc:
+          "(testing) Plant a deliberate transport bug — reply-cache \
+           suppression disabled under a duplication-heavy degradation \
+           window — to prove the at-most-once checker catches duplicate \
+           execution.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -393,7 +478,7 @@ let fuzz_cmd =
           bit-for-bit and can be shrunk.")
     Term.(
       const run_fuzz $ seeds_arg $ seed_base_arg $ replay_arg $ shrink_arg
-      $ fuzz_out_arg $ demo_bug_arg)
+      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg)
 
 let main =
   Cmd.group

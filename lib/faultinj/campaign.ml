@@ -21,6 +21,17 @@ type fault =
   | Node_failure of { node : int; at_ns : int64 }
   | Corrupt_map of { victim_cell : int; at_ns : int64; mode : Hive.System.corruption_mode }
   | Corrupt_cow of { victim_cell : int; at_ns : int64; mode : Hive.System.corruption_mode }
+  | Link_degrade of {
+      deg_from : int; (* source proc, -1 = any *)
+      deg_to : int; (* destination node, -1 = any *)
+      at_ns : int64;
+      dur_ns : int64;
+      drop_pct : int;
+      dup_pct : int;
+      delay_pct : int;
+      max_delay_ns : int64;
+      salt : int64; (* seeds the window's own per-message PRNG *)
+    }
 
 type outcome = {
   fault_desc : string;
@@ -99,11 +110,36 @@ let inject (sys : Hive.Types.system) rng fault =
         leaf mode rng;
       Some victim_cell
     | None -> None)
+  | Link_degrade
+      { deg_from; deg_to; dur_ns; drop_pct; dup_pct; delay_pct;
+        max_delay_ns; salt; _ } ->
+    let now = Sim.Engine.now sys.Hive.Types.eng in
+    Flash.Sips.degrade
+      (Flash.Machine.sips sys.Hive.Types.machine)
+      ~rng:(Sim.Prng.of_int64 salt)
+      { Flash.Sips.deg_from; deg_to; from_ns = now;
+        until_ns = Int64.add now dur_ns; drop_pct; dup_pct; delay_pct;
+        max_delay_ns };
+    (* Reported as the destination cell when the window targets one link,
+       cell 0 for a machine-wide window; nothing is corrupted either way. *)
+    Some
+      (if deg_to >= 0 then
+         (Hive.Types.cell_of_node sys deg_to).Hive.Types.cell_id
+       else 0)
+
+(* Whether the fault destroys or corrupts kernel state on the victim cell
+   (so checkers must exempt it). Link degradation only perturbs message
+   delivery: every cell must come out fully coherent, so it is never
+   exempted. *)
+let corrupts_cell = function
+  | Node_failure _ | Corrupt_map _ | Corrupt_cow _ -> true
+  | Link_degrade _ -> false
 
 let fault_time = function
   | Node_failure { at_ns; _ } -> at_ns
   | Corrupt_map { at_ns; _ } -> at_ns
   | Corrupt_cow { at_ns; _ } -> at_ns
+  | Link_degrade { at_ns; _ } -> at_ns
 
 let describe = function
   | Node_failure { node; _ } -> Printf.sprintf "node %d fail-stop" node
@@ -111,6 +147,14 @@ let describe = function
     Printf.sprintf "corrupt address map on cell %d" victim_cell
   | Corrupt_cow { victim_cell; _ } ->
     Printf.sprintf "corrupt COW tree on cell %d" victim_cell
+  | Link_degrade
+      { deg_from; deg_to; dur_ns; drop_pct; dup_pct; delay_pct; _ } ->
+    Printf.sprintf
+      "degrade link %s->%s for %Ld ms (drop %d%% dup %d%% delay %d%%)"
+      (if deg_from = -1 then "*" else string_of_int deg_from)
+      (if deg_to = -1 then "*" else string_of_int deg_to)
+      (Int64.div dur_ns 1_000_000L)
+      drop_pct dup_pct delay_pct
 
 (* Run one fault-injection test. *)
 let run_test ?(seed = 1) ~workload fault =

@@ -25,6 +25,17 @@ type fault =
   | Corrupt_cow of { victim_cell : int; at_ns : int64;
       mode : Hive.System.corruption_mode;
     }
+  | Link_degrade of {
+      deg_from : int; (* source proc, -1 = any *)
+      deg_to : int; (* destination node, -1 = any *)
+      at_ns : int64;
+      dur_ns : int64;
+      drop_pct : int;
+      dup_pct : int;
+      delay_pct : int;
+      max_delay_ns : int64;
+      salt : int64; (* seeds the window's own per-message PRNG *)
+    }
 type outcome = {
   fault_desc : string;
   injected_cell : int;
@@ -43,6 +54,12 @@ val pick_cow_node :
   cell_id:Hive.Types.cell_id -> Hive.Types.cow_ref option
 val inject :
   Hive.Types.system -> Sim.Prng.t -> fault -> Hive.Types.cell_id option
+
+(** Whether the fault destroys/corrupts kernel state on the victim cell
+    (so checkers must exempt it). Link degradation never does: every cell
+    must come out of it fully coherent. *)
+val corrupts_cell : fault -> bool
+
 val fault_time : fault -> int64
 val describe : fault -> string
 val run_test : ?seed:int -> workload:workload_kind -> fault -> outcome

@@ -35,6 +35,8 @@ type record = {
 let jitter_salt = 0x94D049BB133111EBL
 let inject_salt = 0xBF58476D1CE4E5B9L
 let cfg_salt = 0x9E3779B97F4A7C15L
+let link_salt = 0xD6E8FEB86659FD93L
+let dup_salt = 0xC2B2AE3D27D4EB4FL
 
 let ms n = Int64.mul (Int64.of_int n) 1_000_000L
 
@@ -89,6 +91,49 @@ let plan_of_seed seed =
   in
   let faults =
     gen 0 0L []
+    |> List.stable_sort (fun a b ->
+           Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
+  in
+  (* Link-degradation windows come from their own salted stream, appended
+     after every draw above, so pre-existing seeds keep their exact
+     machine shape, workload and fault schedule and merely gain some
+     interconnect weather. When the plan already has faults, about half
+     the windows are anchored just after the last one so degraded links
+     overlap its recovery round. *)
+  let lrng = Sim.Prng.of_int64 (Int64.logxor seed link_salt) in
+  let nlinks = [| 0; 0; 0; 1; 1; 2 |].(Sim.Prng.int lrng 6) in
+  let last_main =
+    List.fold_left (fun acc f -> max acc (Campaign.fault_time f)) 0L faults
+  in
+  let gen_link _ =
+    let at =
+      if faults <> [] && Sim.Prng.int lrng 2 = 0 then
+        Int64.add last_main (ms (2 + Sim.Prng.int lrng 40))
+      else ms (30 + Sim.Prng.int lrng 1170)
+    in
+    (* Target a non-driver cell's boss node, where its RPC traffic lands;
+       a third of the windows pin a single source processor. *)
+    let deg_to = (1 + Sim.Prng.int lrng (ncells - 1)) * nodes_per_cell in
+    let deg_from =
+      if Sim.Prng.int lrng 3 = 0 then
+        Sim.Prng.int lrng (ncells * nodes_per_cell)
+      else -1
+    in
+    Campaign.Link_degrade
+      {
+        deg_from;
+        deg_to;
+        at_ns = at;
+        dur_ns = ms (50 + Sim.Prng.int lrng 350);
+        drop_pct = Sim.Prng.int lrng 61;
+        dup_pct = Sim.Prng.int lrng 41;
+        delay_pct = Sim.Prng.int lrng 51;
+        max_delay_ns = Int64.of_int (200_000 + Sim.Prng.int lrng 1_800_000);
+        salt = Sim.Prng.next lrng;
+      }
+  in
+  let faults =
+    faults @ List.init nlinks gen_link
     |> List.stable_sort (fun a b ->
            Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
   in
@@ -189,7 +234,7 @@ let check_cfg =
 
 let quiesce_deadline_ns = 10_000_000_000L
 
-let run_plan ?(demo_bug = false) ?trace_out plan =
+let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out plan =
   let eng = Sim.Engine.create () in
   let nodes = plan.ncells * plan.nodes_per_cell in
   let mcfg =
@@ -214,6 +259,26 @@ let run_plan ?(demo_bug = false) ?trace_out plan =
     Sim.Engine.set_jitter eng
       (Some (Sim.Prng.of_int64 (Int64.logxor plan.seed jitter_salt)));
   let inject_rng = Sim.Prng.of_int64 (Int64.logxor plan.seed inject_salt) in
+  (* Planted transport bug: switch off the servers' reply caches and arm a
+     duplication-heavy machine-wide window over the whole run. Duplicated
+     requests then really execute twice, and the at-most-once checker must
+     say so. *)
+  if dup_bug then begin
+    Hive.Rpc.disable_dup_suppression := true;
+    Flash.Sips.degrade
+      (Flash.Machine.sips sys.Hive.Types.machine)
+      ~rng:(Sim.Prng.of_int64 (Int64.logxor plan.seed dup_salt))
+      {
+        Flash.Sips.deg_from = -1;
+        deg_to = -1;
+        from_ns = 0L;
+        until_ns = Int64.max_int;
+        drop_pct = 0;
+        dup_pct = 80;
+        delay_pct = 25;
+        max_delay_ns = 2_000_000L;
+      }
+  end;
   let cfg = cfg_of_plan plan in
   let injected = ref [] and exempt = ref [] in
   let violations = ref [] in
@@ -239,8 +304,12 @@ let run_plan ?(demo_bug = false) ?trace_out plan =
                     injected :=
                       Printf.sprintf "%s -> cell %d" (fault_desc f) cell
                       :: !injected;
-                    if not (List.mem cell !exempt) then
-                      exempt := cell :: !exempt
+                    (* Link degradation leaves every kernel coherent, so
+                       its "victim" cell stays subject to full checking. *)
+                    if
+                      Campaign.corrupts_cell f
+                      && not (List.mem cell !exempt)
+                    then exempt := cell :: !exempt
                   | None ->
                     if tries > 0 then begin
                       Sim.Engine.delay 20_000_000L;
@@ -307,12 +376,14 @@ let run_plan ?(demo_bug = false) ?trace_out plan =
                   (Workloads.Workload.verify_outcome_to_string v)))
          (Workloads.Pmake.verify ~cfg:check_cfg sys)
      end;
-     (* RPC no-orphan: snapshot outstanding calls, advance past the RPC
-        timeout, and demand every one of them completed. *)
+     (* RPC no-orphan: snapshot outstanding calls, advance past the full
+        retransmission schedule (a worst-case call burns every retry:
+        (1 + rpc_max_retries) timeouts plus the backoff gaps), and demand
+        every one of them completed. *)
      let snap = Hive.Invariants.rpc_snapshot sys in
      ignore
        (Hive.System.run_until sys
-          ~deadline:(Int64.add (Hive.System.now eng) 500_000_000L)
+          ~deadline:(Int64.add (Hive.System.now eng) 2_000_000_000L)
           (fun () -> false));
      List.iter
        (fun v -> vio v.Hive.Invariants.inv v.Hive.Invariants.detail)
@@ -335,6 +406,7 @@ let run_plan ?(demo_bug = false) ?trace_out plan =
   | Sim.Engine.Deadlock msg -> vio "deadlock" msg
   | e -> vio "exception" (Printexc.to_string e));
   close_trace ();
+  if dup_bug then Hive.Rpc.disable_dup_suppression := false;
   {
     r_seed = plan.seed;
     r_plan = describe_plan plan;
@@ -388,10 +460,12 @@ let round_fault grain = function
     Campaign.Corrupt_map { f with at_ns = round_to grain f.at_ns }
   | Campaign.Corrupt_cow f ->
     Campaign.Corrupt_cow { f with at_ns = round_to grain f.at_ns }
+  | Campaign.Link_degrade f ->
+    Campaign.Link_degrade { f with at_ns = round_to grain f.at_ns }
 
-let shrink ?(demo_bug = false) plan =
+let shrink ?(demo_bug = false) ?(dup_bug = false) plan =
   let fails p =
-    let r = run_plan ~demo_bug p in
+    let r = run_plan ~demo_bug ~dup_bug p in
     if failed r then Some r else None
   in
   match fails plan with

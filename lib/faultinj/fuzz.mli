@@ -37,9 +37,13 @@ val describe_plan : plan -> string
 (** Run one plan to completion and check every invariant. [demo_bug]
     plants a deliberate containment bug (a firewall grant the kernel
     never recorded) when a node failure lands — used to prove the
-    checkers can catch one. [trace_out] writes a Chrome trace_event JSON
-    file of the run. *)
-val run_plan : ?demo_bug:bool -> ?trace_out:string -> plan -> record
+    checkers can catch one. [dup_bug] plants a transport bug instead:
+    reply-cache suppression is disabled while a duplication-heavy
+    machine-wide degradation window runs, so retransmitted requests
+    execute twice and the at-most-once checker must flag it.
+    [trace_out] writes a Chrome trace_event JSON file of the run. *)
+val run_plan :
+  ?demo_bug:bool -> ?dup_bug:bool -> ?trace_out:string -> plan -> record
 
 val failed : record -> bool
 
@@ -51,4 +55,4 @@ val record_to_json : record -> string
     coarser grains, and disable jitter, keeping each simplification only
     if the plan still fails. Returns the minimal plan and its record.
     Raises [Invalid_argument] if the plan does not fail to begin with. *)
-val shrink : ?demo_bug:bool -> plan -> plan * record
+val shrink : ?demo_bug:bool -> ?dup_bug:bool -> plan -> plan * record

@@ -12,6 +12,25 @@ type node_queues = {
   requests : envelope Sim.Mailbox.t;
   replies : envelope Sim.Mailbox.t;
   mutable up : bool;
+  mutable epoch : int;
+      (* bumped on every failure so in-flight deliveries scheduled before
+         the failure can never land in a restored node's fresh queues *)
+}
+
+(* A window of interconnect degradation on some set of links: messages from
+   [deg_from] to [deg_to] (-1 = any) between [from_ns, until_ns) are
+   dropped, duplicated or delayed with the given percent probabilities,
+   drawn from the window's own PRNG so arming several windows (or shrinking
+   a fuzz plan) never perturbs sibling draws. *)
+type degradation = {
+  deg_from : int; (* source proc, -1 = any *)
+  deg_to : int; (* destination node, -1 = any *)
+  from_ns : int64;
+  until_ns : int64;
+  drop_pct : int;
+  dup_pct : int;
+  delay_pct : int;
+  max_delay_ns : int64; (* extra latency bound for delayed messages *)
 }
 
 type t = {
@@ -19,6 +38,11 @@ type t = {
   eng : Sim.Engine.t;
   queues : node_queues array;
   sends : Sim.Stats.counter;
+  mutable degradations : (degradation * Sim.Prng.t) list;
+  drops : Sim.Stats.counter;
+  dups : Sim.Stats.counter;
+  delays : Sim.Stats.counter;
+  stale_purged : Sim.Stats.counter;
 }
 
 let max_payload = 128
@@ -33,29 +57,94 @@ let create eng cfg =
             requests = Sim.Mailbox.create ();
             replies = Sim.Mailbox.create ();
             up = true;
+            epoch = 0;
           });
     sends = Sim.Stats.counter ();
+    degradations = [];
+    drops = Sim.Stats.counter ();
+    dups = Sim.Stats.counter ();
+    delays = Sim.Stats.counter ();
+    stale_purged = Sim.Stats.counter ();
   }
 
-let fail_node t node = t.queues.(node).up <- false
+let fail_node t node =
+  let q = t.queues.(node) in
+  q.up <- false;
+  q.epoch <- q.epoch + 1
 
-let restore_node t node = t.queues.(node).up <- true
+(* Restoring a node resets its hardware receive queues: envelopes queued
+   before the failure belong to the dead incarnation and must not be
+   replayed into the rebooted kernel. *)
+let restore_node t node =
+  let q = t.queues.(node) in
+  let purged = Sim.Mailbox.clear q.requests + Sim.Mailbox.clear q.replies in
+  Sim.Stats.incr_by t.stale_purged purged;
+  q.up <- true
+
+let degrade t ~rng d = t.degradations <- t.degradations @ [ (d, rng) ]
+
+let clear_degradations t = t.degradations <- []
+
+(* The first armed window that covers this (link, time) decides the
+   message's fate; expired windows are pruned lazily. *)
+let active_degradation t ~from_proc ~to_node =
+  let now = Sim.Engine.now t.eng in
+  t.degradations <-
+    List.filter
+      (fun (d, _) -> Int64.compare now d.until_ns < 0)
+      t.degradations;
+  List.find_opt
+    (fun (d, _) ->
+      Int64.compare d.from_ns now <= 0
+      && (d.deg_from = -1 || d.deg_from = from_proc)
+      && (d.deg_to = -1 || d.deg_to = to_node))
+    t.degradations
 
 (* Each SIPS delivers one cache line of data (128 bytes) in about the
    latency of a cache miss, with an interrupt raised at the receiver. Data
-   beyond a cache line must be sent by reference, so [size] is capped. *)
+   beyond a cache line must be sent by reference, so [size] is capped.
+
+   A degradation window can drop the message, deliver it late, or deliver
+   it twice — the failure modes of a flaky coherence controller. Delivery
+   checks both [up] and the queue epoch captured at send time, so a message
+   in flight across a failure/restore never reaches the new incarnation. *)
 let send t ~from_proc ~to_node ~kind ~size msg =
   if size > max_payload then raise (Too_large size);
   let q = t.queues.(to_node) in
   if not q.up then raise (Target_failed to_node);
   Sim.Stats.incr t.sends;
-  let latency = Int64.add t.cfg.Config.ipi_ns t.cfg.Config.sips_extra_ns in
+  let base_latency = Int64.add t.cfg.Config.ipi_ns t.cfg.Config.sips_extra_ns in
   let env = { src_proc = from_proc; size; msg } in
-  Sim.Engine.schedule t.eng ~after:latency (fun () ->
-      if q.up then
-        Sim.Mailbox.send t.eng
-          (match kind with Request -> q.requests | Reply -> q.replies)
-          env)
+  let epoch = q.epoch in
+  let deliver latency =
+    Sim.Engine.schedule t.eng ~after:latency (fun () ->
+        if q.up && q.epoch = epoch then
+          Sim.Mailbox.send t.eng
+            (match kind with Request -> q.requests | Reply -> q.replies)
+            env)
+  in
+  match active_degradation t ~from_proc ~to_node with
+  | None -> deliver base_latency
+  | Some (d, rng) ->
+    if Sim.Prng.int rng 100 < d.drop_pct then Sim.Stats.incr t.drops
+    else begin
+      let latency =
+        if Sim.Prng.int rng 100 < d.delay_pct then begin
+          Sim.Stats.incr t.delays;
+          Int64.add base_latency
+            (Sim.Prng.int64 rng (Int64.max 1L d.max_delay_ns))
+        end
+        else base_latency
+      in
+      deliver latency;
+      if Sim.Prng.int rng 100 < d.dup_pct then begin
+        Sim.Stats.incr t.dups;
+        (* The duplicate takes its own (possibly longer) path. *)
+        deliver
+          (Int64.add latency
+             (Sim.Prng.int64 rng (Int64.max 1L d.max_delay_ns)))
+      end
+    end
 
 (* Blocking receive used by each node's interrupt dispatch thread. *)
 let receive ?timeout t ~node ~kind =
@@ -68,3 +157,11 @@ let pending t ~node ~kind =
   Sim.Mailbox.length (match kind with Request -> q.requests | Reply -> q.replies)
 
 let send_count t = Sim.Stats.get t.sends
+
+let drop_count t = Sim.Stats.get t.drops
+
+let dup_count t = Sim.Stats.get t.dups
+
+let delay_count t = Sim.Stats.get t.delays
+
+let stale_purged_count t = Sim.Stats.get t.stale_purged

@@ -9,7 +9,13 @@
     Message payloads are OCaml values under the open type {!message}
     (extended by the kernel's RPC layer); the declared [size] models the
     128-byte limit — anything larger must be passed by reference through
-    shared memory. *)
+    shared memory.
+
+    The fault model extends the paper's: besides whole-node failures, a
+    {!degradation} window makes a set of links drop, duplicate or delay
+    messages for a bounded time — the observable behavior of a flaky
+    coherence controller on a failing node. All draws come from the
+    window's own seeded PRNG, so experiments stay deterministic. *)
 
 type message = ..
 
@@ -21,19 +27,48 @@ exception Target_failed of int
 
 type envelope = { src_proc : int; size : int; msg : message }
 
+(** A window of link degradation: messages from [deg_from] to [deg_to]
+    (-1 = any) between [from_ns, until_ns) are dropped, duplicated or
+    delayed with the given percent probabilities; delayed/duplicated
+    deliveries add up to [max_delay_ns] of extra latency. *)
+type degradation = {
+  deg_from : int;
+  deg_to : int;
+  from_ns : int64;
+  until_ns : int64;
+  drop_pct : int;
+  dup_pct : int;
+  delay_pct : int;
+  max_delay_ns : int64;
+}
+
 type t
 
 val max_payload : int
 
 val create : Sim.Engine.t -> Config.t -> t
 
+(** Mark a node down: sends to it raise {!Target_failed}, and deliveries
+    already in flight are discarded (the queue epoch is bumped). *)
 val fail_node : t -> int -> unit
 
+(** Mark a node up again, resetting its hardware receive queues — envelopes
+    queued before the failure belong to the dead incarnation and are
+    purged, not replayed into the rebooted kernel. *)
 val restore_node : t -> int -> unit
 
+(** Arm a degradation window; [rng] drives that window's per-message
+    drop/dup/delay draws (pass a generator salted per window so arming
+    several never perturbs each other). Expired windows are pruned
+    automatically. *)
+val degrade : t -> rng:Sim.Prng.t -> degradation -> unit
+
+val clear_degradations : t -> unit
+
 (** Send a message; delivery takes one IPI latency plus the SIPS data
-    latency. Raises {!Too_large} over 128 declared bytes and
-    {!Target_failed} if the destination node is down. *)
+    latency (plus any degradation-window effects). Raises {!Too_large}
+    over 128 declared bytes and {!Target_failed} if the destination node
+    is down. *)
 val send :
   t -> from_proc:int -> to_node:int -> kind:kind -> size:int -> message -> unit
 
@@ -44,3 +79,13 @@ val receive :
 val pending : t -> node:int -> kind:kind -> int
 
 val send_count : t -> int
+
+(** Messages dropped / duplicated / delayed by degradation windows. *)
+val drop_count : t -> int
+
+val dup_count : t -> int
+
+val delay_count : t -> int
+
+(** Stale pre-failure envelopes purged by {!restore_node}. *)
+val stale_purged_count : t -> int

@@ -20,7 +20,8 @@ type Types.payload +=
 
 let vote_op = Rpc.Op.declare "agree.vote"
 
-let ping_op = Rpc.Op.declare "agree.ping"
+(* A liveness probe has no effect to replay. *)
+let ping_op = Rpc.Op.declare ~idempotent:true "agree.ping"
 
 let dismiss_op = Rpc.Op.declare "agree.dismiss"
 
@@ -118,6 +119,26 @@ let run (sys : Types.system) (accuser : Types.cell) ~suspect ~reason =
     end
   end
 
+(* After voting "dead" a cell keeps its gate closed until the accuser
+   either confirms (recovery closes it anyway) or dismisses the alert. A
+   lost dismiss must not suspend user processes forever: re-check after a
+   timeout and reopen if no recovery is in flight. While agreement or
+   recovery is still running, re-arm and look again later. *)
+let watchdog_timeout_ns = 2_000_000_000L
+
+let watchdog_reopen (sys : Types.system) (cell : Types.cell) =
+  let rec check () =
+    if Types.cell_alive cell && not cell.Types.user_gate_open then begin
+      if sys.Types.recovery_in_progress || cell.Types.in_recovery then
+        Sim.Engine.schedule sys.Types.eng ~after:watchdog_timeout_ns check
+      else begin
+        Types.bump cell "agreement.watchdog_reopens";
+        Gate.open_ sys cell
+      end
+    end
+  in
+  Sim.Engine.schedule sys.Types.eng ~after:watchdog_timeout_ns check
+
 let registered = ref false
 
 let register_handlers () =
@@ -144,7 +165,14 @@ let register_handlers () =
               if alive then begin
                 (* Reopen optimistically; a confirm will re-close. *)
                 Gate.open_ sys cell
-              end;
+              end
+              else
+                (* The gate stays closed awaiting the accuser's verdict.
+                   On a degraded interconnect the dismiss RPC can be lost
+                   even after every retransmission, which would leave this
+                   cell's processes suspended forever — a watchdog reopens
+                   the gate if no recovery materializes. *)
+                watchdog_reopen sys cell;
               Ok (P_vote { alive }))
         | _ -> Types.Immediate (Error Types.EFAULT));
     Rpc.register dismiss_op (fun sys cell ~src:_ arg ->

@@ -40,7 +40,10 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     user_gate_open = true;
     gate_waiters = [];
     next_call_id = 0;
+    incarnation = 0;
+    rpc_rng = Sim.Prng.create (0x5EED0 + id);
     pending_calls = Hashtbl.create 64;
+    rpc_sessions = Hashtbl.create 8;
     rpc_queue = Sim.Mailbox.create ();
     release_queue = Sim.Mailbox.create ();
     swap_table = Hashtbl.create 64;

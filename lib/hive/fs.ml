@@ -25,7 +25,8 @@ type Types.payload +=
   | P_dirty of { ino : int; page : int }
   | P_setsize of { ino : int; size : int }
 
-let lookup_op = Rpc.Op.declare "fs.lookup"
+(* Pure read of the home cell's name table: replays are harmless. *)
+let lookup_op = Rpc.Op.declare ~idempotent:true "fs.lookup"
 
 let locate_op = Rpc.Op.declare ~reply_bytes:512 "fs.locate"
 

@@ -367,6 +367,33 @@ let check_rpc_drained (sys : Types.system) ~snapshot =
       else None)
     snapshot
 
+(* ---------- at-most-once transport ---------- *)
+
+(* The RPC layer records every actual execution of a non-idempotent op
+   body in [sys.rpc_executions], keyed by (server cell, server
+   incarnation, call id). At-most-once semantics demand each key was
+   executed exactly once per server life: a count above one means a
+   retransmitted request slipped past the reply cache and re-ran its op. *)
+let check_rpc_at_most_once (sys : Types.system) =
+  Hashtbl.fold
+    (fun (cell, incarnation, call_id) (op, n) acc ->
+      if n > 1 then
+        v "rpc-at-most-once"
+          "cell %d (incarnation %d): non-idempotent op %s for call %d \
+           executed %d times"
+          cell incarnation op call_id n
+        :: acc
+      else acc)
+    sys.Types.rpc_executions []
+  |> List.sort compare
+
+(* A cell must never act on a message stamped with an epoch other than its
+   current incarnation; acceptances are recorded by the RPC layer (only
+   reachable when the epoch check is deliberately disabled). *)
+let check_rpc_epochs (sys : Types.system) =
+  List.rev_map (fun detail -> { inv = "rpc-stale-epoch"; detail })
+    sys.Types.rpc_stale_accepts
+
 (* ---------- entry point ---------- *)
 
 let check ?(exempt = []) (sys : Types.system) =
@@ -385,4 +412,6 @@ let check ?(exempt = []) (sys : Types.system) =
     @ check_cow sys ~exempt
     @ check_refcounts sys ~cells:scan
     @ check_gate sys
+    @ check_rpc_at_most_once sys
+    @ check_rpc_epochs sys
   end

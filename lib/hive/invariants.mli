@@ -36,3 +36,14 @@ val rpc_snapshot : Types.system -> (Types.cell_id * int) list
     advance the simulation past the longest RPC timeout, then call this. *)
 val check_rpc_drained :
   Types.system -> snapshot:(Types.cell_id * int) list -> violation list
+
+(** Every non-idempotent op body must have executed at most once per
+    (server incarnation, call id): more means a retransmitted request
+    slipped past the server's reply cache. Included in {!check}; exposed
+    for targeted tests. *)
+val check_rpc_at_most_once : Types.system -> violation list
+
+(** No cell may have accepted a message stamped with an epoch other than
+    its current incarnation. Included in {!check}; exposed for targeted
+    tests. *)
+val check_rpc_epochs : Types.system -> violation list

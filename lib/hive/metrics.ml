@@ -86,6 +86,19 @@ let to_json (sys : Types.system) =
     sys.Types.cells;
   buf_add b "],\n\"system_counters\":";
   counters_json b (Sim.Stats.to_list sys.Types.sys_counters);
+  (* Interconnect transport totals: what the degradation fault model did
+     to traffic, and how much stale pre-failure state was purged. The
+     per-cell counters (rpc.retransmits, rpc.dup_suppressed,
+     rpc.stale_reply_drops, ...) record how the kernels rode it out. *)
+  let sips = Flash.Machine.sips sys.Types.machine in
+  buf_add b
+    (Printf.sprintf
+       ",\n\"sips\":{\"sends\":%d,\"drops\":%d,\"dups\":%d,\"delays\":%d,\"stale_purged\":%d}"
+       (Flash.Sips.send_count sips)
+       (Flash.Sips.drop_count sips)
+       (Flash.Sips.dup_count sips)
+       (Flash.Sips.delay_count sips)
+       (Flash.Sips.stale_purged_count sips));
   buf_add b ",\n\"recovery_timeline\":[";
   List.iteri
     (fun i (phase, t) ->

@@ -13,6 +13,14 @@ type t = {
   clock_stall_ticks : int;
   rpc_timeout_ns : int64;
   spin_timeout_ns : int64;
+  (* At-most-once RPC transport: retransmission bounds and backoff.
+     A per-attempt timeout of [rpc_timeout_ns] plus [rpc_max_retries]
+     retransmits with exponential backoff (base doubling up to the cap,
+     plus deterministic jitter) rides out transient link degradation; only
+     exhausting every attempt reports a failure hint. *)
+  rpc_max_retries : int;
+  rpc_backoff_base_ns : int64;
+  rpc_backoff_cap_ns : int64;
   (* Careful reference protocol *)
   careful_on_ns : int64;
   careful_off_ns : int64;
@@ -72,6 +80,9 @@ let default =
     clock_stall_ticks = 2;
     rpc_timeout_ns = 200_000_000L;
     spin_timeout_ns = 50_000L;
+    rpc_max_retries = 3;
+    rpc_backoff_base_ns = 20_000_000L;
+    rpc_backoff_cap_ns = 160_000_000L;
     careful_on_ns = 260L;
     careful_off_ns = 200L;
     careful_check_ns = 60L;

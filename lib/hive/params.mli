@@ -12,6 +12,9 @@ type t = {
   clock_stall_ticks : int;
   rpc_timeout_ns : int64;
   spin_timeout_ns : int64;
+  rpc_max_retries : int;
+  rpc_backoff_base_ns : int64;
+  rpc_backoff_cap_ns : int64;
   careful_on_ns : int64;
   careful_off_ns : int64;
   careful_check_ns : int64;

@@ -1,10 +1,14 @@
 (** Intercell RPC on top of the SIPS hardware primitive (Section 6).
 
-   The subsystem is much leaner than classical distributed-system RPC: SIPS
-   is reliable, so there is no retransmission or duplicate suppression; a
-   cache line (128 bytes) carries most argument/result records, and larger
-   data is passed by reference through shared memory (costed as a copy plus
-   allocation, per Table 5.2).
+   The paper's SIPS is "as reliable as a cache miss"; our fault model is
+   harsher (degraded links can drop, duplicate or delay messages, and a
+   node failure eats messages in flight), so the transport provides
+   at-most-once semantics: bounded client retransmission with exponential
+   backoff + jitter, a per-client reply cache on the server so a
+   retransmitted request is answered from cache instead of re-executed,
+   and epoch-tagged call ids (the cell incarnation number) so traffic
+   from before a failure/reboot is discarded. A failure hint is reported
+   only after every retransmission is exhausted.
 
    The base system services requests at interrupt level on the receiving
    node. A queuing service and server-process pool handles longer-latency
@@ -24,24 +28,45 @@ module Op : sig
     arg_bytes : int; (* default request payload size *)
     reply_bytes : int; (* default reply payload size *)
     timeout_ns : int64 option; (* None = Params.rpc_timeout_ns *)
+    idempotent : bool; (* replays harmless: skips the reply cache *)
   }
 
   (** Declare an operation; raises [Invalid_argument] on a duplicate name.
-      Call once at module initialization. *)
+      Call once at module initialization. Declare [~idempotent:true] only
+      for read-only ops whose re-execution is observably harmless. *)
   val declare :
-    ?arg_bytes:int -> ?reply_bytes:int -> ?timeout_ns:int64 -> string -> t
+    ?arg_bytes:int ->
+    ?reply_bytes:int ->
+    ?timeout_ns:int64 ->
+    ?idempotent:bool ->
+    string ->
+    t
 
   val name : t -> string
+
+  (** Whether the named op was declared idempotent (false if unknown). *)
+  val is_idempotent : string -> bool
 
   (** Every declared op, sorted by name (for metrics export). *)
   val all : unit -> t list
 end
 
 type Flash.Sips.message +=
-    M_request of { call_id : int; src_cell : int; op : string;
-      arg : Types.payload; arg_bytes : int;
+    M_request of { call_id : int; src_cell : int; src_epoch : int;
+      attempt : int; op : string; arg : Types.payload; arg_bytes : int;
     }
-  | M_reply of { call_id : int; outcome : Types.rpc_outcome; }
+  | M_reply of { call_id : int; dst_epoch : int;
+      outcome : Types.rpc_outcome;
+    }
+
+(** Testing knobs: deliberately re-create the bugs the at-most-once
+    machinery fixes (duplicate execution of retransmits / acceptance of
+    stale-epoch replies), so the invariant checkers can be shown to catch
+    them. Reset to [false] after use. *)
+val disable_dup_suppression : bool ref
+
+val disable_epoch_check : bool ref
+
 type handler =
     Types.system ->
     Types.cell ->
@@ -57,7 +82,7 @@ exception Rpc_failed of Types.cell_id * string
 val send_reply :
   Types.system ->
   Types.cell ->
-  src_cell:int -> call_id:int -> Types.rpc_outcome -> unit
+  src_cell:int -> src_epoch:int -> call_id:int -> Types.rpc_outcome -> unit
 val service_request :
   Types.system -> Types.cell -> Flash.Sips.envelope -> unit
 val service_reply :
@@ -66,7 +91,8 @@ val start_threads : Types.system -> Types.cell -> unit
 
 (** Call [op] on [target]. Payload sizes and the timeout default from the
     descriptor; the optional arguments override them for variable-size
-    payloads. *)
+    payloads. The timeout is per attempt: a call retransmits up to
+    [Params.rpc_max_retries] times before returning [Error EHOSTDOWN]. *)
 val call :
   Types.system ->
   from:Types.cell ->

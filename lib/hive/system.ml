@@ -48,6 +48,13 @@ let reintegrate (sys : Types.system) cell_id =
   c.Types.user_gate_open <- true;
   c.Types.gate_waiters <- [];
   Hashtbl.reset c.Types.pending_calls;
+  (* A rebooted kernel starts its call-id sequence from zero again; the
+     bumped incarnation keeps the new ids (and any messages still in
+     flight from the old life) from colliding across the reboot. The
+     reply cache dies with the old incarnation too. *)
+  c.Types.incarnation <- c.Types.incarnation + 1;
+  c.Types.next_call_id <- 0;
+  Hashtbl.reset c.Types.rpc_sessions;
   c.Types.suspected <- [];
   c.Types.false_alerts <- [];
   c.Types.in_recovery <- false;
@@ -112,6 +119,8 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       on_hint = None;
       sys_counters = Sim.Stats.registry ();
       trace_faults = false;
+      rpc_executions = Hashtbl.create 1024;
+      rpc_stale_accepts = [];
       events = Sim.Event.create eng;
       rpc_client_ns = Hashtbl.create 32;
       rpc_server_ns = Hashtbl.create 32;

@@ -175,6 +175,20 @@ type pending_call = {
   call_done : rpc_outcome Sim.Ivar.t;
 }
 
+(* Server-side at-most-once state, kept per client cell. A retransmitted
+   request whose call id is already present is answered from the cached
+   reply (or silently suppressed while the original is still executing)
+   instead of re-executed. *)
+type rpc_reply_state =
+  | Reply_in_progress (* original request is still executing *)
+  | Reply_done of rpc_outcome (* completed: retransmits resend this *)
+
+type rpc_session = {
+  mutable rs_epoch : int; (* client incarnation the cache is valid for *)
+  mutable rs_max_call : int; (* highest call id seen (prune watermark) *)
+  rs_replies : (int, rpc_reply_state) Hashtbl.t; (* call id -> state *)
+}
+
 type cell = {
   cell_id : cell_id;
   cell_nodes : int list; (* node ids owned throughout execution *)
@@ -200,7 +214,13 @@ type cell = {
   mutable gate_waiters : Sim.Engine.thread list;
   (* rpc *)
   mutable next_call_id : int;
+  mutable incarnation : int;
+      (* bumped on every reintegration; folded into call ids and checked
+         against message epochs so pre-reboot traffic is discarded *)
+  rpc_rng : Sim.Prng.t; (* deterministic backoff jitter *)
   pending_calls : (int, pending_call) Hashtbl.t;
+  rpc_sessions : (cell_id, rpc_session) Hashtbl.t;
+      (* per-client at-most-once reply cache (this cell as server) *)
   rpc_queue : (unit -> unit) Sim.Mailbox.t; (* queued-service requests *)
   release_queue : pfdat Sim.Mailbox.t;
       (* imports released by exiting processes, drained by a kernel thread *)
@@ -267,6 +287,13 @@ type system = {
       (* installed by the failure-detection module at boot *)
   sys_counters : Sim.Stats.registry;
   mutable trace_faults : bool;
+  (* At-most-once audit trail, read by Invariants: how many times each
+     non-idempotent op body actually ran, keyed by the server's identity
+     (cell, incarnation) and the call id; plus any stale-epoch message a
+     cell accepted (always a bug — recorded only when the epoch check is
+     deliberately disabled for planted-bug demos). *)
+  rpc_executions : (cell_id * int * int, string * int) Hashtbl.t;
+  mutable rpc_stale_accepts : string list;
   (* observability *)
   events : Sim.Event.bus;
   rpc_client_ns : (string, Sim.Stats.histogram) Hashtbl.t;

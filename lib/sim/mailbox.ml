@@ -22,6 +22,13 @@ let send eng m x = deliver eng m x
 
 let try_receive m = Queue.take_opt m.queue
 
+(* Discard queued messages without waking waiters: used when a failed
+   node's hardware queues are reset on restore. *)
+let clear m =
+  let n = Queue.length m.queue in
+  Queue.clear m.queue;
+  n
+
 let receive ?timeout eng m =
   match Queue.take_opt m.queue with
   | Some _ as r -> r

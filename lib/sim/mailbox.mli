@@ -17,6 +17,10 @@ val send : Engine.t -> 'a t -> 'a -> unit
 (** Non-blocking receive. *)
 val try_receive : 'a t -> 'a option
 
+(** Discard all queued messages (waiters are untouched); returns how many
+    were dropped. Models a hardware queue reset. *)
+val clear : 'a t -> int
+
 (** Blocking receive; [None] on timeout. *)
 val receive : ?timeout:int64 -> Engine.t -> 'a t -> 'a option
 

@@ -306,6 +306,96 @@ let test_restore_node () =
           Alcotest.(check string) "memory zeroed on reintegration" "\000"
             (Bytes.to_string (Flash.Memory.peek mem addr 1))))
 
+let test_sips_degradation_deterministic () =
+  (* A degradation window drops/duplicates/delays from its own seeded
+     PRNG: two identical runs must do exactly the same damage, and the
+     delivered-message count must balance sends - drops + dups. *)
+  let sent = 60 in
+  let run () =
+    let eng = Sim.Engine.create () in
+    let m = Flash.Machine.create eng cfg in
+    let sips = Flash.Machine.sips m in
+    ignore
+      (Sim.Engine.spawn eng (fun () ->
+           Flash.Sips.degrade sips ~rng:(Sim.Prng.create 99)
+             {
+               Flash.Sips.deg_from = -1;
+               deg_to = 1;
+               from_ns = 0L;
+               until_ns = 1_000_000_000L;
+               drop_pct = 30;
+               dup_pct = 25;
+               delay_pct = 25;
+               max_delay_ns = 10_000L;
+             };
+           for _ = 1 to sent do
+             Flash.Sips.send sips ~from_proc:0 ~to_node:1
+               ~kind:Flash.Sips.Request ~size:8 (Obj.magic 0);
+             Sim.Engine.delay 10_000L
+           done;
+           Sim.Engine.delay 1_000_000L));
+    Sim.Engine.run eng;
+    ( Flash.Sips.drop_count sips,
+      Flash.Sips.dup_count sips,
+      Flash.Sips.delay_count sips,
+      Flash.Sips.pending sips ~node:1 ~kind:Flash.Sips.Request )
+  in
+  let ((d, u, l, p) as a) = run () in
+  Alcotest.(check bool) "drops happened" true (d > 0);
+  Alcotest.(check bool) "dups happened" true (u > 0);
+  Alcotest.(check bool) "delays happened" true (l > 0);
+  Alcotest.(check int) "deliveries = sends - drops + dups" (sent - d + u) p;
+  let b = run () in
+  Alcotest.(check bool) "identical runs do identical damage" true (a = b)
+
+let test_degradation_window_expires () =
+  with_machine (fun eng m ->
+      let sips = Flash.Machine.sips m in
+      in_thread eng (fun () ->
+          Flash.Sips.degrade sips ~rng:(Sim.Prng.create 5)
+            {
+              Flash.Sips.deg_from = -1;
+              deg_to = 1;
+              from_ns = 0L;
+              until_ns = 1_000L;
+              drop_pct = 100;
+              dup_pct = 0;
+              delay_pct = 0;
+              max_delay_ns = 0L;
+            };
+          Sim.Engine.delay 2_000L;
+          (* Window over: traffic passes untouched. *)
+          Flash.Sips.send sips ~from_proc:0 ~to_node:1 ~kind:Flash.Sips.Request
+            ~size:8 (Obj.magic 0);
+          Sim.Engine.delay 1_000_000L;
+          Alcotest.(check int) "nothing dropped after expiry" 0
+            (Flash.Sips.drop_count sips);
+          Alcotest.(check int) "message delivered" 1
+            (Flash.Sips.pending sips ~node:1 ~kind:Flash.Sips.Request)))
+
+(* Regression: envelopes queued before a node failure must not be replayed
+   into the rebooted kernel — restore_node purges both receive queues. *)
+let test_restore_purges_prefailure_envelopes () =
+  with_machine (fun eng m ->
+      let sips = Flash.Machine.sips m in
+      in_thread eng (fun () ->
+          Flash.Sips.send sips ~from_proc:0 ~to_node:1 ~kind:Flash.Sips.Request
+            ~size:8 (Obj.magic 0);
+          Flash.Sips.send sips ~from_proc:0 ~to_node:1 ~kind:Flash.Sips.Reply
+            ~size:8 (Obj.magic 0);
+          (* Let both deliveries land in the (unread) receive queues. *)
+          Sim.Engine.delay 1_000_000L;
+          Alcotest.(check int) "request queued pre-failure" 1
+            (Flash.Sips.pending sips ~node:1 ~kind:Flash.Sips.Request);
+          Flash.Machine.fail_node m 1;
+          Flash.Machine.restore_node m 1;
+          Alcotest.(check int) "request queue purged" 0
+            (Flash.Sips.pending sips ~node:1 ~kind:Flash.Sips.Request);
+          Alcotest.(check int) "reply queue purged" 0
+            (Flash.Sips.pending sips ~node:1 ~kind:Flash.Sips.Reply);
+          Alcotest.(check int) "purged envelopes counted" 2
+            (Flash.Sips.stale_purged_count sips)))
+
 let qcheck_firewall_vector_roundtrip =
   QCheck.Test.make ~name:"firewall grant/revoke tracks exact processor sets"
     ~count:200
@@ -380,6 +470,12 @@ let suite =
       test_disk_sequential_faster;
     Alcotest.test_case "node failure listener" `Quick test_node_failure_listener;
     Alcotest.test_case "restore node zeroes memory" `Quick test_restore_node;
+    Alcotest.test_case "sips degradation is deterministic" `Quick
+      test_sips_degradation_deterministic;
+    Alcotest.test_case "sips degradation window expires" `Quick
+      test_degradation_window_expires;
+    Alcotest.test_case "restore purges pre-failure envelopes" `Quick
+      test_restore_purges_prefailure_envelopes;
     QCheck_alcotest.to_alcotest qcheck_firewall_vector_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_memory_roundtrip;
   ]

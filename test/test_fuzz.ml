@@ -32,6 +32,42 @@ let test_clean_seeds_zero_violations () =
         [] r.Faultinj.Fuzz.r_violations)
     [ 1L; 3L; 8L ]
 
+(* Seeds whose derived plans include link-degradation windows — seed 16
+   and 31 land theirs right inside a node-failure recovery round — must
+   ride out the weather with zero violations: every message may be
+   dropped, duplicated or delayed, but the kernels stay coherent. *)
+let test_link_fault_seeds_clean () =
+  List.iter
+    (fun seed ->
+      let p = Faultinj.Fuzz.plan_of_seed seed in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %Ld has a link window" seed)
+        true
+        (contains (Faultinj.Fuzz.describe_plan p) "degrade link");
+      let r = Faultinj.Fuzz.run_plan p in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %Ld clean under link faults" seed)
+        [] r.Faultinj.Fuzz.r_violations)
+    [ 16L; 28L; 31L ]
+
+(* The planted transport bug: reply-cache suppression off plus a
+   duplication-heavy window makes retransmitted requests execute twice.
+   The at-most-once checker must catch it, and the reproducer must shrink
+   (the bug needs no scheduled faults at all, only the planted window). *)
+let test_dup_bug_caught_and_shrunk () =
+  let plan = Faultinj.Fuzz.plan_of_seed 28L in
+  let r = Faultinj.Fuzz.run_plan ~dup_bug:true plan in
+  Alcotest.(check bool) "duplicate execution detected" true
+    (Faultinj.Fuzz.failed r);
+  Alcotest.(check bool) "at-most-once checker named it" true
+    (List.exists
+       (fun v -> contains v "rpc-at-most-once")
+       r.Faultinj.Fuzz.r_violations);
+  let p', r' = Faultinj.Fuzz.shrink ~dup_bug:true plan in
+  Alcotest.(check bool) "shrunk plan still fails" true (Faultinj.Fuzz.failed r');
+  Alcotest.(check bool) "scheduled faults shrunk away" true
+    (List.length p'.Faultinj.Fuzz.faults <= 1)
+
 (* Seed 4 derives a plan whose fault lands; with [demo_bug] the harness
    then plants a firewall grant the kernel never recorded. The checkers
    must catch it, and shrinking must converge to at most two faults while
@@ -65,6 +101,10 @@ let suite =
       test_replay_is_byte_identical;
     Alcotest.test_case "clean seeds report zero violations" `Slow
       test_clean_seeds_zero_violations;
+    Alcotest.test_case "link-fault seeds stay clean" `Slow
+      test_link_fault_seeds_clean;
+    Alcotest.test_case "planted duplicate-execution bug caught and shrunk"
+      `Slow test_dup_bug_caught_and_shrunk;
     Alcotest.test_case "planted containment bug caught and shrunk" `Slow
       test_demo_bug_caught_and_shrunk;
     Alcotest.test_case "shrink rejects passing plans" `Slow

@@ -13,6 +13,8 @@ let slow_op = Hive.Rpc.Op.declare "test.slow"
 
 let nonexistent_op = Hive.Rpc.Op.declare "test.nonexistent"
 
+let slow99_op = Hive.Rpc.Op.declare "test.slow99"
+
 let registered = ref false
 
 let register () =
@@ -31,7 +33,12 @@ let register () =
           (fun () ->
             ignore sys;
             Sim.Engine.delay 50_000_000L;
-            Ok Hive.Types.P_unit))
+            Ok Hive.Types.P_unit));
+    Hive.Rpc.register slow99_op (fun _sys _cell ~src:_ _arg ->
+        Hive.Types.Queued
+          (fun () ->
+            Sim.Engine.delay 1_200_000_000L;
+            Ok (Hive.Types.P_int 99)))
   end
 
 let with_sys f =
@@ -89,14 +96,45 @@ let test_unknown_op () =
       | Error Hive.Types.EFAULT, _ -> ()
       | _ -> Alcotest.fail "expected EFAULT for unknown op")
 
-let test_timeout_on_slow_op () =
+let test_retry_survives_slow_op () =
   with_sys (fun eng sys ->
-      (* 50 ms handler with a 5 ms timeout: the caller must give up. *)
+      (* 50 ms handler with a 5 ms per-attempt timeout: the client
+         retransmits, the server suppresses the duplicates (the original
+         is still executing), and the first reply completes the call. *)
       match
         call_from_thread eng sys ~op:slow_op ~timeout_ns:5_000_000L
           Hive.Types.P_unit
       with
-      | Error Hive.Types.EHOSTDOWN, _ -> ()
+      | Ok _, _ ->
+        let c0 = sys.Hive.Types.cells.(0) in
+        let c1 = sys.Hive.Types.cells.(1) in
+        Alcotest.(check bool) "client retransmitted" true
+          (Sim.Stats.value c0.Hive.Types.counters "rpc.retransmits" > 0);
+        Alcotest.(check bool) "server suppressed duplicates" true
+          (Sim.Stats.value c1.Hive.Types.counters "rpc.dup_suppressed" > 0)
+      | _ -> Alcotest.fail "expected retransmission to ride out the slow op")
+
+let test_timeout_after_retries_exhausted () =
+  with_sys (fun eng sys ->
+      (* A black-hole link to the server: every attempt is dropped, so the
+         caller gives up only after the full retransmission budget. *)
+      sys.Hive.Types.on_hint <- None;
+      let sips = Flash.Machine.sips sys.Hive.Types.machine in
+      Flash.Sips.degrade sips ~rng:(Sim.Prng.create 7)
+        { Flash.Sips.deg_from = -1; deg_to = 1; from_ns = 0L;
+          until_ns = 60_000_000_000L; drop_pct = 100; dup_pct = 0;
+          delay_pct = 0; max_delay_ns = 0L };
+      match
+        call_from_thread eng sys ~op:echo_op ~timeout_ns:5_000_000L
+          Hive.Types.P_unit
+      with
+      | Error Hive.Types.EHOSTDOWN, _ ->
+        let c0 = sys.Hive.Types.cells.(0) in
+        Alcotest.(check int) "used every retransmission"
+          sys.Hive.Types.params.Hive.Params.rpc_max_retries
+          (Sim.Stats.value c0.Hive.Types.counters "rpc.retransmits");
+        Alcotest.(check int) "counted one timeout" 1
+          (Sim.Stats.value c0.Hive.Types.counters "rpc.timeouts")
       | _ -> Alcotest.fail "expected timeout")
 
 let test_known_dead_target_fast_fail () =
@@ -142,6 +180,93 @@ let test_concurrent_calls () =
       Alcotest.(check int) "all 20 concurrent queued calls served" 20
         !done_count)
 
+(* Three cells so a quorum survives killing the client cell. *)
+let with_sys3 f =
+  register ();
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    { Flash.Config.small with Flash.Config.nodes = 3; mem_pages_per_node = 256 }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells:3 ~wax:false eng in
+  f eng sys
+
+(* A reply addressed to a previous incarnation of the client cell — its
+   call was issued, then the cell failed and was reintegrated with a
+   bumped incarnation — must be discarded, never delivered into the new
+   life (where a rebooted kernel reuses low call ids). *)
+let test_reboot_drops_stale_reply () =
+  with_sys3 (fun eng sys ->
+      ignore
+        (Sim.Engine.spawn eng ~name:"pre-reboot-caller" (fun () ->
+             ignore
+               (Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
+                  ~op:slow99_op ~timeout_ns:3_000_000_000L Hive.Types.P_unit)));
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             Sim.Engine.delay 100_000_000L;
+             Hive.System.inject_node_failure sys 0));
+      (* Recovery reintegrates cell 0 well before the 1.2 s handler
+         finishes; its reply is then addressed to the dead incarnation. *)
+      ignore (Hive.System.run_until sys ~deadline:5_000_000_000L (fun () -> false));
+      let c0 = sys.Hive.Types.cells.(0) in
+      Alcotest.(check bool) "cell 0 rebooted" true
+        (c0.Hive.Types.incarnation > 0);
+      Alcotest.(check bool) "pre-reboot reply dropped as stale" true
+        (Sim.Stats.value c0.Hive.Types.counters "rpc.stale_reply_drops" >= 1);
+      Alcotest.(check (list string)) "no stale acceptance recorded" []
+        (List.map Hive.Invariants.to_string
+           (Hive.Invariants.check_rpc_epochs sys));
+      (* A fresh post-reboot call completes normally with its own payload;
+         the discarded reply (P_int 99) cannot leak into it. *)
+      match call_from_thread eng sys ~op:echo_op (Hive.Types.P_int 42) with
+      | Ok (Hive.Types.P_int 42), _ -> ()
+      | _ -> Alcotest.fail "post-reboot call failed")
+
+(* Same scenario with the epoch check deliberately disabled: the stale
+   acceptance must be recorded and the epoch invariant checker must name
+   it (this is how the fuzzer proves the checker has teeth). *)
+let test_epoch_checker_catches_disabled_check () =
+  with_sys3 (fun eng sys ->
+      Fun.protect
+        ~finally:(fun () -> Hive.Rpc.disable_epoch_check := false)
+        (fun () ->
+          Hive.Rpc.disable_epoch_check := true;
+          ignore
+            (Sim.Engine.spawn eng (fun () ->
+                 ignore
+                   (Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
+                      ~op:slow99_op ~timeout_ns:3_000_000_000L
+                      Hive.Types.P_unit)));
+          ignore
+            (Sim.Engine.spawn eng (fun () ->
+                 Sim.Engine.delay 100_000_000L;
+                 Hive.System.inject_node_failure sys 0));
+          ignore
+            (Hive.System.run_until sys ~deadline:5_000_000_000L (fun () ->
+                 false));
+          Alcotest.(check bool) "stale acceptance flagged" true
+            (Hive.Invariants.check_rpc_epochs sys <> [])))
+
+(* A reply that arrives after the caller exhausted its retransmission
+   budget and gave up: counted, dropped, and it must not complete (or
+   corrupt) any later call. *)
+let test_late_reply_after_timeout () =
+  with_sys (fun eng sys ->
+      (match
+         call_from_thread eng sys ~op:slow99_op ~timeout_ns:5_000_000L
+           Hive.Types.P_unit
+       with
+      | Error Hive.Types.EHOSTDOWN, _ -> ()
+      | _ -> Alcotest.fail "expected the call to give up");
+      (* call_from_thread ran the engine until idle, so the 1.2 s handler
+         has completed and its reply has been delivered by now. *)
+      let c0 = sys.Hive.Types.cells.(0) in
+      Alcotest.(check int) "late reply counted and dropped" 1
+        (Sim.Stats.value c0.Hive.Types.counters "rpc.late_replies");
+      match call_from_thread eng sys ~op:echo_op (Hive.Types.P_int 7) with
+      | Ok (Hive.Types.P_int 7), _ -> ()
+      | _ -> Alcotest.fail "call after the late reply failed")
+
 let test_duplicate_registration_rejected () =
   register ();
   Alcotest.check_raises "duplicate op"
@@ -157,12 +282,21 @@ let suite =
     Alcotest.test_case "handler exception becomes error reply" `Quick
       test_handler_exception_becomes_error;
     Alcotest.test_case "unknown op" `Quick test_unknown_op;
-    Alcotest.test_case "timeout on slow op" `Quick test_timeout_on_slow_op;
+    Alcotest.test_case "retry survives slow op" `Quick
+      test_retry_survives_slow_op;
+    Alcotest.test_case "timeout after retries exhausted" `Quick
+      test_timeout_after_retries_exhausted;
     Alcotest.test_case "known-dead target fails fast" `Quick
       test_known_dead_target_fast_fail;
     Alcotest.test_case "large args cost more" `Quick test_large_args_cost_more;
     Alcotest.test_case "20 concurrent queued calls" `Quick
       test_concurrent_calls;
+    Alcotest.test_case "reboot drops stale-incarnation replies" `Quick
+      test_reboot_drops_stale_reply;
+    Alcotest.test_case "epoch checker catches stale acceptance" `Quick
+      test_epoch_checker_catches_disabled_check;
+    Alcotest.test_case "late reply after timeout is dropped" `Quick
+      test_late_reply_after_timeout;
     Alcotest.test_case "duplicate registration rejected" `Quick
       test_duplicate_registration_rejected;
   ]
