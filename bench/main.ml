@@ -12,6 +12,7 @@
      table-7.3            Local vs remote kernel-operation latency
      table-7.4            Fault injection campaigns (use --quick to sample)
      wax                  Table 3.4: policy hints round-trip
+     sharing              Import cache, fault read-ahead, batched releases
      hw-features          Table 8.1: custom hardware self-checks
      ablations            Design-choice ablations (not in the paper)
      rpc-resilience       At-most-once RPC transport on a degraded link
@@ -727,6 +728,108 @@ let recovery_discard_bench () =
   if old_us <= new_us then
     failwith "recovery-discard: masked scan must beat per-processor scans"
 
+(* ---------- sharing: import cache + batched protocol ---------- *)
+
+(* Remote-page access latency cold vs parked, plus an A/B pmake run
+   (default vs Params.legacy_sharing) measuring sharing RPCs per remotely
+   accessed page. Both runs must produce byte-identical workload output. *)
+let sharing_bench () =
+  section_header "sharing (import cache, fault read-ahead, batched releases)";
+  let eng, sys = boot ~ncells:2 () in
+  let npages = 256 in
+  let path = make_warm_file sys ~npages in
+  let c1 = sys.Hive.Types.cells.(1) in
+  let touch_pass ~write =
+    let acc = Sim.Stats.summary ~keep_samples:true () in
+    let p =
+      Hive.Process.spawn sys c1 ~name:"pass" (fun sys p ->
+          let fd = Hive.Syscall.openf sys p ~writable:write path in
+          let r = Hive.Syscall.mmap_file sys p ~fd ~npages ~writable:write in
+          for k = 0 to npages - 1 do
+            let t0 = Sim.Engine.time () in
+            Hive.Syscall.touch sys p ~vpage:(r.Hive.Types.start_page + k)
+              ~write;
+            Sim.Stats.add_ns acc (Int64.sub (Sim.Engine.time ()) t0)
+          done)
+    in
+    ignore
+      (Hive.System.run_until_processes_done sys
+         ~deadline:(Int64.add (Sim.Engine.now eng) 400_000_000_000L)
+         [ p ]);
+    (* Drain the reaper so exit-time releases park their bindings. *)
+    Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 100_000_000L) eng;
+    acc
+  in
+  let pr name acc =
+    row "%-36s p50 %7.1f us   p95 %7.1f us" name
+      (Sim.Stats.percentile acc 50. /. 1e3)
+      (Sim.Stats.percentile acc 95. /. 1e3)
+  in
+  let hits () = Sim.Stats.value c1.Hive.Types.counters "share.cache_hits" in
+  let cold = touch_pass ~write:false in
+  let h0 = hits () in
+  let warm = touch_pass ~write:false in
+  let h1 = hits () in
+  let writes = touch_pass ~write:true in
+  pr "remote read fault, cold" cold;
+  pr "remote read fault, parked binding" warm;
+  pr "remote write fault" writes;
+  row "warm pass served from import cache: %d of %d pages" (h1 - h0) npages;
+  if h1 - h0 = 0 then failwith "sharing: warm pass produced no cache hits";
+  (* A/B: pmake with the full protocol vs legacy (cache/read-ahead/batch
+     off), same machine, same workload, byte-identical output demanded. *)
+  let run_pmake ~legacy =
+    let params =
+      if legacy then Hive.Params.legacy_sharing Hive.Params.default
+      else Hive.Params.default
+    in
+    let eng = Sim.Engine.create () in
+    let sys = Hive.System.boot ~params ~ncells:4 ~wax:false eng in
+    Workloads.Pmake.setup sys Workloads.Pmake.default;
+    ignore (Workloads.Pmake.run sys);
+    Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 300_000_000L) eng;
+    let bad =
+      List.filter
+        (fun (_, v) -> v <> Workloads.Workload.Match)
+        (Workloads.Pmake.verify sys)
+    in
+    if bad <> [] then
+      failwith
+        (Printf.sprintf "sharing: pmake output not byte-identical (%s)"
+           (String.concat ", " (List.map fst bad)));
+    let rpcs =
+      List.fold_left
+        (fun acc op ->
+          acc
+          + (match Hashtbl.find_opt sys.Hive.Types.rpc_client_ns op with
+            | Some h -> Sim.Stats.hist_count h
+            | None -> 0))
+        0
+        [ "fs.locate"; "share.release"; "share.release_batch";
+          "share.invalidate" ]
+    in
+    let totals = Hive.Metrics.sharing_totals sys in
+    let get n = try List.assoc n totals with Not_found -> 0 in
+    let pages = get "share.imports" + get "share.cache_hits" in
+    (rpcs, pages, get "share.cache_hits", Hive.Metrics.cache_hit_rate sys)
+  in
+  let l_rpcs, l_pages, _, _ = run_pmake ~legacy:true in
+  let n_rpcs, n_pages, n_hits, n_rate = run_pmake ~legacy:false in
+  let per_page r p = float_of_int r /. float_of_int (max 1 p) in
+  let l_pp = per_page l_rpcs l_pages and n_pp = per_page n_rpcs n_pages in
+  row "pmake, legacy protocol:  %6d sharing RPCs / %6d remote pages = %.3f RPCs/page"
+    l_rpcs l_pages l_pp;
+  row "pmake, import cache:     %6d sharing RPCs / %6d remote pages = %.3f RPCs/page"
+    n_rpcs n_pages n_pp;
+  row "RPCs per remotely-read page: %.1fx fewer (cache hit rate %.1f%%, %d hits)"
+    (l_pp /. n_pp) (n_rate *. 100.) n_hits;
+  if n_hits = 0 then failwith "sharing: pmake produced no cache hits";
+  if l_pp /. n_pp < 5. then
+    failwith
+      (Printf.sprintf
+         "sharing: expected >= 5x fewer RPCs per page, got %.1fx"
+         (l_pp /. n_pp))
+
 (* ---------- RPC transport resilience under link degradation ---------- *)
 
 (* Hammer one server through a degraded link (drops, duplicates, delays
@@ -891,6 +994,7 @@ let all_sections =
     ("table-7.3", table_7_3);
     ("table-7.4", fun () -> table_7_4 ());
     ("wax", wax_bench);
+    ("sharing", sharing_bench);
     ("recovery-discard", recovery_discard_bench);
     ("rpc-resilience", rpc_resilience);
     ("fuzz", fuzz_bench);

@@ -8,14 +8,18 @@
 
 open Cmdliner
 
-let boot ~ncells ~smp ~oracle =
+let boot ?(legacy_sharing = false) ~ncells ~smp ~oracle () =
   let eng = Sim.Engine.create () in
   let mcfg =
     if smp then { Flash.Config.default with firewall_enabled = false }
     else Flash.Config.default
   in
+  let params =
+    if legacy_sharing then Hive.Params.legacy_sharing Hive.Params.default
+    else Hive.Params.default
+  in
   let sys =
-    Hive.System.boot ~mcfg ~ncells ~multicellular:(not smp) ~oracle
+    Hive.System.boot ~mcfg ~params ~ncells ~multicellular:(not smp) ~oracle
       ~wax:(not smp) eng
   in
   (eng, sys)
@@ -62,9 +66,12 @@ let finish_observability sys ~trace_close ~metrics_json =
 
 (* ---- workload command ---- *)
 
-let run_workload name ncells smp verbose trace_out metrics_json =
+let run_workload name ncells smp no_import_cache verbose trace_out
+    metrics_json =
   if verbose then Sim.Trace.set_level Sim.Trace.Info;
-  let _eng, sys = boot ~ncells ~smp ~oracle:false in
+  let _eng, sys =
+    boot ~legacy_sharing:no_import_cache ~ncells ~smp ~oracle:false ()
+  in
   let trace_close = attach_trace sys trace_out in
   let result, _ = setup_and_run sys name in
   Printf.printf "%s on %s (%d cell%s): %.3f s simulated%s\n"
@@ -88,7 +95,7 @@ let run_workload name ncells smp verbose trace_out metrics_json =
 
 let run_sweep name =
   let time ncells smp =
-    let _eng, sys = boot ~ncells ~smp ~oracle:false in
+    let _eng, sys = boot ~ncells ~smp ~oracle:false () in
     let result, _ = setup_and_run sys name in
     Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns
   in
@@ -108,7 +115,7 @@ let run_sweep name =
 
 let run_fault kind ncells node victim at_ms cascade_node oracle link_from
     drop_pct dup_pct delay_pct dur_ms trace_out metrics_json =
-  let eng, sys = boot ~ncells ~smp:false ~oracle in
+  let eng, sys = boot ~ncells ~smp:false ~oracle () in
   let trace_close = attach_trace sys trace_out in
   Workloads.Pmake.setup sys Workloads.Pmake.default;
   let t_inject = ref 0L in
@@ -298,6 +305,15 @@ let smp_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print kernel counters.")
 
+let no_import_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-import-cache" ]
+        ~doc:
+          "Run with the legacy sharing protocol: no remote-page import \
+           cache, no fault read-ahead, one share.release RPC per page. \
+           Useful as the A side of an A/B against the default protocol.")
+
 let trace_out_arg =
   Arg.(
     value
@@ -326,8 +342,8 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run one workload on a chosen configuration.")
     Term.(
-      const run_workload $ workload_name $ cells_arg $ smp_arg $ verbose_arg
-      $ trace_out_arg $ metrics_json_arg)
+      const run_workload $ workload_name $ cells_arg $ smp_arg
+      $ no_import_cache_arg $ verbose_arg $ trace_out_arg $ metrics_json_arg)
 
 let sweep_cmd =
   Cmd.v

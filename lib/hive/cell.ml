@@ -46,6 +46,8 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     rpc_sessions = Hashtbl.create 8;
     rpc_queue = Sim.Mailbox.create ();
     release_queue = Sim.Mailbox.create ();
+    import_cache = [];
+    readahead = Hashtbl.create 16;
     swap_table = Hashtbl.create 64;
     swap_blocks_used = 0;
     suspected = [];
@@ -113,8 +115,10 @@ let boot (sys : Types.system) (c : Types.cell) =
   Rpc.start_threads sys c;
   Clock.start sys c;
   Clock_hand.start sys c;
-  (* Reaper: sends release RPCs for imports dropped by exiting processes
-     (process teardown itself runs outside any thread context). *)
+  (* Reaper: releases imports dropped by exiting processes (process
+     teardown itself runs outside any thread context). The queue is
+     drained in bursts so the releases coalesce into one vectored RPC per
+     data home instead of one RPC per page. *)
   let reaper =
     Sim.Engine.spawn sys.Types.eng
       ~name:(Printf.sprintf "cell%d.reaper" c.Types.cell_id)
@@ -122,10 +126,26 @@ let boot (sys : Types.system) (c : Types.cell) =
         let rec loop () =
           match Sim.Mailbox.receive sys.Types.eng c.Types.release_queue with
           | Some pf ->
-            (match (pf.Types.imported_from, pf.Types.lid) with
-            | Some home, Some _ when List.mem home c.Types.live_set ->
-              (try Share.release sys c pf with Types.Syscall_error _ -> ())
-            | _ -> Share.drop_import c pf);
+            let burst = ref [ pf ] in
+            let rec drain () =
+              match Sim.Mailbox.try_receive c.Types.release_queue with
+              | Some q ->
+                burst := q :: !burst;
+                drain ()
+              | None -> ()
+            in
+            drain ();
+            let live, orphaned =
+              List.partition
+                (fun (q : Types.pfdat) ->
+                  match q.Types.imported_from with
+                  | Some home -> List.mem home c.Types.live_set
+                  | None -> false)
+                !burst
+            in
+            List.iter (fun q -> Share.drop_import c q) orphaned;
+            (try Share.release_many sys c live
+             with Types.Syscall_error _ -> Types.bump c "fs.release_errors");
             loop ()
           | None -> ()
         in

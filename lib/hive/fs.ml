@@ -18,10 +18,19 @@
 type Types.payload +=
   | P_lookup of { path : string }
   | P_attrs of { ino : int; size : int; generation : int }
-  | P_locate of { ino : int; page : int; npages : int; writable : bool }
-  | P_located of { pages : (int * int) list (* file page -> pfn *) }
+  | P_locate of {
+      ino : int;
+      page : int;
+      npages : int;
+      writable : bool;
+      gen : int; (* generation the client's descriptor was opened under *)
+    }
+  | P_located of {
+      pages : (int * int) list; (* file page -> pfn *)
+      gen : int; (* generation the pages were exported under *)
+    }
   | P_create of { path : string; content : Bytes.t }
-  | P_created of { ino : int }
+  | P_created of { ino : int; gen : int }
   | P_dirty of { ino : int; page : int }
   | P_setsize of { ino : int; size : int }
 
@@ -36,7 +45,8 @@ let create_op = Rpc.Op.declare "fs.create"
 let setsize_op = Rpc.Op.declare ~arg_bytes:32 "fs.set_size"
 
 (* Batch size for locate RPCs issued by the sequential read/write paths
-   (read-ahead clustering); faults locate a single page. *)
+   (read-ahead clustering); faults use the adaptive per-file window in
+   [cell.readahead], capped by Params.fault_readahead_max. *)
 let locate_batch = 8
 
 let page_size (sys : Types.system) = sys.Types.mcfg.Flash.Config.page_size
@@ -73,7 +83,26 @@ let create_local (sys : Types.system) (home : Types.cell) ~path ~content =
   match find_local home path with
   | Some f ->
     (* Truncate and rewrite: stale cached pages must leave the page hash,
-       or re-creation would serve old frames. *)
+       or re-creation would serve old frames. Remote clients may hold
+       parked bindings to those frames — invalidate them first, while the
+       export records are still in place. *)
+    let by_client = Hashtbl.create 4 in
+    Hashtbl.iter
+      (fun pg (pf : Types.pfdat) ->
+        let lid = { Types.tag = Types.File_obj f.Types.fid; page = pg } in
+        List.iter
+          (fun cl ->
+            let prev =
+              match Hashtbl.find_opt by_client cl with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace by_client cl (lid :: prev))
+          pf.Types.exported_to)
+      f.Types.cached_pages;
+    Hashtbl.iter
+      (fun cl lids -> Share.invalidate_clients sys home ~clients:[ cl ] ~lids)
+      by_client;
     Hashtbl.iter
       (fun _pg (pf : Types.pfdat) ->
         if not pf.Types.extended then Page_alloc.free_frame sys home pf)
@@ -267,11 +296,11 @@ let create_file (sys : Types.system) (c : Types.cell) ~path ~content =
         ~arg_bytes:(64 + Bytes.length content)
         (P_create { path; content })
     with
-    | Ok (P_created { ino }) ->
+    | Ok (P_created { ino; gen }) ->
       Ok
         ( Types.Shadow_vnode
             { fid = { home = home_id; ino }; path; data_home = home_id },
-          0 )
+          gen )
     | Ok _ -> Error Types.EFAULT
     | Error e -> Error e
 
@@ -288,12 +317,26 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
     when (not writable)
          || pf.Types.imported_from = None
          || List.mem c.Types.cell_id pf.Types.write_granted_to ->
-    (* Hit in the local pfdat hash table. *)
-    (match usage with
-    | `Fault -> Sim.Engine.delay p.Params.fault_local_hit_ns
-    | `Syscall -> Sim.Engine.delay p.Params.read_write_page_overhead_ns);
-    if writable then pf.Types.dirty <- true;
-    Ok pf
+    (* Hit in the local pfdat hash table (possibly a parked import). A
+       parked binding imported under a newer generation than this
+       descriptor means the descriptor is stale: fail like the local
+       path does, instead of serving data the open never saw. A binding
+       older than the descriptor (its invalidation was lost) must not be
+       served either — drop it and refetch from the data home. *)
+    if pf.Types.cached && pf.Types.import_gen > opened_gen then
+      Error Types.EIO
+    else if pf.Types.cached && pf.Types.import_gen < opened_gen then begin
+      Share.drop_import c pf;
+      get_page sys c vnode ~page ~writable ~opened_gen ~usage
+    end
+    else begin
+      Share.cache_hit c pf;
+      (match usage with
+      | `Fault -> Sim.Engine.delay p.Params.fault_local_hit_ns
+      | `Syscall -> Sim.Engine.delay p.Params.read_write_page_overhead_ns);
+      if writable then pf.Types.dirty <- true;
+      Ok pf
+    end
   | Some pf ->
     (* Imported read-only but write wanted: rebind with write access. *)
     Share.drop_import c pf;
@@ -315,30 +358,56 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
       end
     | Types.Shadow_vnode { fid = sfid; data_home; _ } -> (
       (* Remote page: client-side file system work, locate RPC to the data
-         home, then import. Sequential syscalls batch their locates. *)
+         home, then import. Sequential syscalls batch their locates;
+         sequential fault streams grow an adaptive read-ahead window (a
+         lone fault still locates one page, so sparse access patterns pay
+         nothing extra). *)
       Sim.Engine.delay p.Params.fault_client_fs_ns;
       Types.bump c "fs.remote_locates";
-      let npages = match usage with `Fault -> 1 | `Syscall -> locate_batch in
+      let npages =
+        match usage with
+        | `Syscall -> locate_batch
+        | `Fault ->
+          let ra =
+            match Hashtbl.find_opt c.Types.readahead fid with
+            | Some r -> r
+            | None ->
+              let r = { Types.ra_last = min_int; ra_window = 1 } in
+              Hashtbl.replace c.Types.readahead fid r;
+              r
+          in
+          if page = ra.Types.ra_last + 1 then
+            ra.Types.ra_window <-
+              min (ra.Types.ra_window * 2)
+                (max 1 p.Params.fault_readahead_max)
+          else ra.Types.ra_window <- 1;
+          ra.Types.ra_window
+      in
       match
         Rpc.call sys ~from:c ~target:data_home ~op:locate_op
-          (P_locate { ino = sfid.Types.ino; page; npages; writable })
+          (P_locate
+             { ino = sfid.Types.ino; page; npages; writable;
+               gen = opened_gen })
       with
-      | Ok (P_located { pages }) -> (
+      | Ok (P_located { pages; gen }) -> (
         let imported =
           List.map
             (fun (pg, pfn) ->
               let l = { Types.tag = Types.File_obj fid; page = pg } in
-              let pf =
-                Share.import sys c ~pfn ~data_home ~lid:l
-                  ~writable
-              in
-              if writable then begin
-                pf.Types.write_granted_to <- [ c.Types.cell_id ];
-                pf.Types.dirty <- true
-              end;
-              (pg, pf))
+              (pg, Share.import sys c ~pfn ~data_home ~lid:l ~gen ~writable))
             pages
         in
+        (match usage with
+        | `Fault -> (
+          match Hashtbl.find_opt c.Types.readahead fid with
+          | Some ra ->
+            ra.Types.ra_last <-
+              List.fold_left (fun a (pg, _) -> max a pg) page imported;
+            let extra = List.length imported - 1 in
+            if extra > 0 then
+              Types.bump ~by:extra c "fs.readahead_pages"
+          | None -> ())
+        | `Syscall -> ());
         match List.assoc_opt page imported with
         | Some pf -> Ok pf
         | None -> Error Types.EIO)
@@ -436,13 +505,14 @@ let release_file_imports (sys : Types.system) (c : Types.cell) vnode =
     Pfdat.iter_pages c (fun pf ->
         match (pf.Types.lid, pf.Types.imported_from) with
         | Some { Types.tag = Types.File_obj f; _ }, Some _
-          when f = fid && pf.Types.refs = 0 && pf.Types.extended ->
+          when f = fid && pf.Types.refs = 0 && pf.Types.extended
+               && not pf.Types.cached ->
           doomed := pf :: !doomed
         | _ -> ());
-    List.iter
-      (fun pf ->
-        try Share.release sys c pf with Types.Syscall_error _ -> ())
-      !doomed
+    (* One vectored release per data home; a lost batch is counted per
+       page inside release_many, and surfaced (not swallowed) here. *)
+    (try Share.release_many sys c !doomed
+     with Types.Syscall_error _ -> Types.bump c "fs.release_errors")
 
 let file_size (sys : Types.system) (c : Types.cell) vnode =
   match vnode with
@@ -507,13 +577,15 @@ let register_handlers () =
             f.Types.unlinked <- true;
             Hashtbl.remove cell.Types.files real
           | None -> ());
-          Types.Immediate (Ok (P_created { ino = 0 }))
+          Types.Immediate (Ok (P_created { ino = 0; gen = 0 }))
         | P_create { path; content } ->
           Types.Queued
             (fun () ->
               Sim.Engine.delay sys.Types.params.Params.open_local_ns;
               let f = create_local sys cell ~path ~content in
-              Ok (P_created { ino = f.Types.fid.Types.ino }))
+              Ok
+                (P_created
+                   { ino = f.Types.fid.Types.ino; gen = f.Types.generation }))
         | _ -> Types.Immediate (Error Types.EFAULT));
     Rpc.register setsize_op (fun _sys cell ~src:_ arg ->
         match arg with
@@ -525,48 +597,82 @@ let register_handlers () =
         | _ -> Types.Immediate (Error Types.EFAULT));
     Rpc.register locate_op (fun sys cell ~src arg ->
         match arg with
-        | P_locate { ino; page; npages; writable } -> (
+        | P_locate { ino; page; npages; writable; gen } -> (
           match find_by_ino cell ino with
           | None -> Types.Immediate (Error Types.ENOENT)
           | Some f ->
-            let psize = page_size sys in
-            (* Writable locates pre-allocate the whole requested cluster
-               (an extending writer will fill it); read locates stop at
-               EOF. *)
-            let last_page =
-              if writable then page + npages - 1
-              else max page ((max 1 f.Types.size - 1) / psize)
-            in
-            let wanted =
-              List.init (min npages (last_page - page + 1)) (fun i -> page + i)
-            in
-            let all_cached =
-              List.for_all
-                (fun pg -> Hashtbl.mem f.Types.cached_pages pg)
-                wanted
-            in
-            let serve () =
-              Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
-              let pages =
-                List.map
-                  (fun pg ->
-                    (* Block allocation for pages a remote writer extends. *)
-                    if writable && pg * psize >= f.Types.size then
-                      Sim.Engine.delay
-                        sys.Types.params.Params.fs_block_alloc_ns;
-                    let pf = page_in sys cell f pg in
-                    Share.export sys cell pf ~client:src ~writable;
-                    if writable then pf.Types.dirty <- true;
-                    (pg, pf.Types.pfn))
+            if f.Types.generation > gen then
+              (* The client's descriptor predates a preemptive discard:
+                 the home enforces the generation check for all remote
+                 accesses (the client-side shadow path never re-checks). *)
+              Types.Immediate (Error Types.EIO)
+            else begin
+              let psize = page_size sys in
+              (* Writable locates pre-allocate the whole requested cluster
+                 (an extending writer will fill it); read locates stop at
+                 EOF. *)
+              let last_page =
+                if writable then page + npages - 1
+                else max page ((max 1 f.Types.size - 1) / psize)
+              in
+              let wanted =
+                List.init
+                  (min npages (last_page - page + 1))
+                  (fun i -> page + i)
+              in
+              let all_cached =
+                List.for_all
+                  (fun pg -> Hashtbl.mem f.Types.cached_pages pg)
                   wanted
               in
-              Ok (P_located { pages })
-            in
-            if all_cached then
-              (* Hit in the file cache: serviced entirely at interrupt
-                 level (Section 4.3 explains why no blocking locks are
-                 needed on this path). *)
-              Types.Immediate (serve ())
-            else Types.Queued serve)
+              (* A writable export may have to invalidate other clients'
+                 parked bindings — an RPC, so it cannot run at interrupt
+                 level. *)
+              let invalidating =
+                writable
+                && List.exists
+                     (fun pg ->
+                       match Hashtbl.find_opt f.Types.cached_pages pg with
+                       | Some pf -> Share.needs_invalidate pf ~client:src
+                       | None -> false)
+                     wanted
+              in
+              let serve () =
+                Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
+                (* Page everything in first: the disk reads may block, and
+                   a generation bump landing mid-batch must fail the whole
+                   batch before any page is exported — never export a mix
+                   of pre- and post-discard pages. *)
+                let pfs =
+                  List.map
+                    (fun pg ->
+                      (* Block allocation for pages a remote writer
+                         extends. *)
+                      if writable && pg * psize >= f.Types.size then
+                        Sim.Engine.delay
+                          sys.Types.params.Params.fs_block_alloc_ns;
+                      (pg, page_in sys cell f pg))
+                    wanted
+                in
+                if f.Types.generation > gen then Error Types.EIO
+                else begin
+                  let pages =
+                    List.map
+                      (fun (pg, pf) ->
+                        Share.export sys cell pf ~client:src ~writable;
+                        if writable then pf.Types.dirty <- true;
+                        (pg, pf.Types.pfn))
+                      pfs
+                  in
+                  Ok (P_located { pages; gen = f.Types.generation })
+                end
+              in
+              if all_cached && not invalidating then
+                (* Hit in the file cache: serviced entirely at interrupt
+                   level (Section 4.3 explains why no blocking locks are
+                   needed on this path). *)
+                Types.Immediate (serve ())
+              else Types.Queued serve
+            end)
         | _ -> Types.Immediate (Error Types.EFAULT))
   end

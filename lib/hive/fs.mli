@@ -18,10 +18,16 @@
 type Types.payload +=
     P_lookup of { path : string; }
   | P_attrs of { ino : int; size : int; generation : int; }
-  | P_locate of { ino : int; page : int; npages : int; writable : bool; }
-  | P_located of { pages : (int * int) list; }
+  | P_locate of {
+      ino : int;
+      page : int;
+      npages : int;
+      writable : bool;
+      gen : int;
+    }
+  | P_located of { pages : (int * int) list; gen : int; }
   | P_create of { path : string; content : Bytes.t; }
-  | P_created of { ino : int; }
+  | P_created of { ino : int; gen : int }
   | P_dirty of { ino : int; page : int; }
   | P_setsize of { ino : int; size : int; }
 val lookup_op : Rpc.Op.t

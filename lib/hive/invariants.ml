@@ -394,6 +394,102 @@ let check_rpc_epochs (sys : Types.system) =
   List.rev_map (fun detail -> { inv = "rpc-stale-epoch"; detail })
     sys.Types.rpc_stale_accepts
 
+(* ---------- import cache coherence ---------- *)
+
+(* A parked binding is dormant client state the data home must still be
+   able to reason about: it must be an idle read-only extended file
+   import, its data home must be alive and still hold the page with a
+   matching export record (that record is the invalidation channel), and
+   the home's file generation must not have advanced past the one the
+   binding was imported under — a binding surviving a home failure or a
+   generation bump would serve stale data RPC-free, the exact hazard the
+   invalidation rules exist to prevent. Both directions are checked:
+   every cache entry is a valid parked binding, and every pfdat marked
+   [cached] is actually in its cell's cache list. *)
+let check_import_cache (sys : Types.system) ~cells =
+  let bad = ref [] in
+  let note x = bad := x :: !bad in
+  let alive id = Types.cell_alive sys.Types.cells.(id) in
+  List.iter
+    (fun (c : Types.cell) ->
+      let cap = sys.Types.params.Params.import_cache_pages in
+      if List.length c.Types.import_cache > cap then
+        note
+          (v "import-cache" "cell %d: %d parked bindings exceed capacity %d"
+             c.Types.cell_id
+             (List.length c.Types.import_cache)
+             cap);
+      List.iter
+        (fun (pf : Types.pfdat) ->
+          let where =
+            Printf.sprintf "cell %d pfn %d" c.Types.cell_id pf.Types.pfn
+          in
+          if not pf.Types.cached then
+            note (v "import-cache" "%s: in cache list but not marked cached" where);
+          if pf.Types.refs <> 0 then
+            note (v "import-cache" "%s: parked binding has refs=%d" where pf.Types.refs);
+          if not pf.Types.extended then
+            note (v "import-cache" "%s: parked binding is not extended" where);
+          if List.mem c.Types.cell_id pf.Types.write_granted_to then
+            note (v "import-cache" "%s: parked binding holds a write grant" where);
+          match (pf.Types.imported_from, pf.Types.lid) with
+          | Some home, Some lid -> (
+            (match lid.Types.tag with
+            | Types.File_obj _ -> ()
+            | Types.Anon_obj _ ->
+              note (v "import-cache" "%s: parked binding is not a file page" where));
+            if not (alive home) then
+              note
+                (v "import-cache"
+                   "%s: parked binding survives dead data home %d" where home)
+            else begin
+              let h = sys.Types.cells.(home) in
+              (match Pfdat.lookup h lid with
+              | Some hpf ->
+                if hpf.Types.pfn <> pf.Types.pfn then
+                  note
+                    (v "import-cache"
+                       "%s: home %d moved the page to pfn %d under a parked \
+                        binding"
+                       where home hpf.Types.pfn);
+                if not (List.mem c.Types.cell_id hpf.Types.exported_to) then
+                  note
+                    (v "import-cache"
+                       "%s: home %d holds no export record (invalidation \
+                        channel lost)"
+                       where home)
+              | None ->
+                note
+                  (v "import-cache"
+                     "%s: home %d no longer caches the page" where home));
+              match lid.Types.tag with
+              | Types.File_obj fid -> (
+                match Hashtbl.find_opt h.Types.files_by_ino fid.Types.ino with
+                | Some f when f.Types.generation > pf.Types.import_gen ->
+                  note
+                    (v "import-cache"
+                       "%s: parked binding (gen %d) survives generation bump \
+                        to %d"
+                       where pf.Types.import_gen f.Types.generation)
+                | _ -> ())
+              | Types.Anon_obj _ -> ()
+            end)
+          | _ ->
+            note
+              (v "import-cache" "%s: parked binding lacks import identity"
+                 where))
+        c.Types.import_cache;
+      (* Reverse direction: a cached flag outside the cache list. *)
+      Pfdat.iter_pages c (fun pf ->
+          if pf.Types.cached && not (List.memq pf c.Types.import_cache) then
+            note
+              (v "import-cache"
+                 "cell %d pfn %d: marked cached but absent from the cache \
+                  list"
+                 c.Types.cell_id pf.Types.pfn)))
+    cells;
+  List.rev !bad
+
 (* ---------- entry point ---------- *)
 
 let check ?(exempt = []) (sys : Types.system) =
@@ -414,4 +510,5 @@ let check ?(exempt = []) (sys : Types.system) =
     @ check_gate sys
     @ check_rpc_at_most_once sys
     @ check_rpc_epochs sys
+    @ check_import_cache sys ~cells:scan
   end

@@ -47,3 +47,13 @@ val check_rpc_at_most_once : Types.system -> violation list
     its current incarnation. Included in {!check}; exposed for targeted
     tests. *)
 val check_rpc_epochs : Types.system -> violation list
+
+(** Import-cache coherence: every parked binding is an idle read-only
+    extended file import whose data home is alive, still caches the page
+    at the same frame, holds a matching export record, and whose file
+    generation has not advanced past the binding's import generation — a
+    parked binding surviving a home failure or a generation bump would
+    serve stale data RPC-free. Included in {!check}; exposed for targeted
+    tests. *)
+val check_import_cache :
+  Types.system -> cells:Types.cell list -> violation list

@@ -63,6 +63,34 @@ let status_string = function
   | Types.Cell_recovering -> "recovering"
   | Types.Cell_down -> "down"
 
+(* System-wide totals for the sharing protocol (summed over cells), plus
+   the derived cache-hit rate: hits / (hits + locate RPCs) — the fraction
+   of remote-page lookups that never left the cell. *)
+let sharing_counters =
+  [ "share.imports"; "share.exports"; "share.releases"; "share.reimports";
+    "share.cache_hits"; "share.cache_insertions"; "share.cache_evictions";
+    "share.cache_invalidations"; "share.invalidates"; "share.release_lost";
+    "share.release_races"; "fs.remote_locates"; "fs.readahead_pages";
+    "fs.release_errors" ]
+
+let sharing_totals (sys : Types.system) =
+  List.map
+    (fun name ->
+      let total =
+        Array.fold_left
+          (fun acc (c : Types.cell) ->
+            acc + Sim.Stats.value c.Types.counters name)
+          0 sys.Types.cells
+      in
+      (name, total))
+    sharing_counters
+
+let cache_hit_rate (sys : Types.system) =
+  let totals = sharing_totals sys in
+  let get n = try List.assoc n totals with Not_found -> 0 in
+  let hits = get "share.cache_hits" in
+  float_of_int hits /. float_of_int (max 1 (hits + get "fs.remote_locates"))
+
 let to_json (sys : Types.system) =
   let b = Buffer.create 4096 in
   buf_add b
@@ -99,6 +127,12 @@ let to_json (sys : Types.system) =
        (Flash.Sips.dup_count sips)
        (Flash.Sips.delay_count sips)
        (Flash.Sips.stale_purged_count sips));
+  buf_add b ",\n\"sharing\":{";
+  List.iter
+    (fun (k, v) -> buf_add b (Printf.sprintf "\"%s\":%d," (esc k) v))
+    (List.sort compare (sharing_totals sys));
+  buf_add b
+    (Printf.sprintf "\"cache_hit_rate\":%s}" (fnum (cache_hit_rate sys)));
   buf_add b ",\n\"recovery_timeline\":[";
   List.iteri
     (fun i (phase, t) ->
@@ -126,6 +160,16 @@ let print_summary (sys : Types.system) =
           (Sim.Stats.hist_count h) (p 50.) (p 95.) (p 99.))
       client
   end;
+  (let totals = sharing_totals sys in
+   let get n = try List.assoc n totals with Not_found -> 0 in
+   if get "share.imports" > 0 then
+     Printf.printf
+       "sharing: %d imports, %d cache hits (hit rate %.2f), %d locates, %d \
+        readahead pages, %d releases, %d invalidations, %d lost releases\n"
+       (get "share.imports") (get "share.cache_hits") (cache_hit_rate sys)
+       (get "fs.remote_locates") (get "fs.readahead_pages")
+       (get "share.releases") (get "share.cache_invalidations")
+       (get "share.release_lost"));
   if sys.Types.recovery_timeline <> [] then begin
     Printf.printf "recovery timeline:\n";
     List.iter

@@ -3,6 +3,14 @@
     counters and status, system counters, and the recovery phase
     timeline. *)
 
+(** System-wide sharing-protocol totals (imports, cache hits, releases,
+    invalidations, ...) summed over cells. *)
+val sharing_totals : Types.system -> (string * int) list
+
+(** share.cache_hits / (share.cache_hits + fs.remote_locates): the
+    fraction of remote-page lookups served without leaving the cell. *)
+val cache_hit_rate : Types.system -> float
+
 (** Render the full metrics document as a JSON string. *)
 val to_json : Types.system -> string
 

@@ -71,6 +71,16 @@ type t = {
   (* Wax *)
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
+  (* Remote-page import cache and batched sharing protocol *)
+  enable_import_cache : bool;
+      (* park released read-only imports in a per-cell cache instead of
+         freeing them, so re-access skips the locate RPC *)
+  import_cache_pages : int; (* parked bindings per cell before eviction *)
+  fault_readahead_max : int;
+      (* cap on the adaptive read-ahead window for sequential fault
+         streams (1 = the old locate-one-page-per-fault behavior) *)
+  batch_releases : bool;
+      (* coalesce import releases into one vectored RPC per data home *)
 }
 
 let default =
@@ -120,4 +130,20 @@ let default =
     agreement_vote_ns = 50_000L;
     wax_period_ns = 100_000_000L;
     wax_scan_cost_ns = 50_000L;
+    enable_import_cache = true;
+    import_cache_pages = 512;
+    fault_readahead_max = 8;
+    batch_releases = true;
+  }
+
+(* The pre-cache sharing protocol: every release is an RPC, every fault
+   locates exactly one page, nothing is parked. Used for A/B comparison
+   (hive_sim --no-import-cache, bench sharing). *)
+let legacy_sharing p =
+  {
+    p with
+    enable_import_cache = false;
+    import_cache_pages = 0;
+    fault_readahead_max = 1;
+    batch_releases = false;
   }

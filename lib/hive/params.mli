@@ -52,5 +52,13 @@ type t = {
   agreement_vote_ns : int64;
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
+  enable_import_cache : bool;
+  import_cache_pages : int;
+  fault_readahead_max : int;
+  batch_releases : bool;
 }
 val default : t
+
+(** The pre-cache sharing protocol (no import cache, single-page fault
+    locates, one release RPC per page), for A/B comparison. *)
+val legacy_sharing : t -> t

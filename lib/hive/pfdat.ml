@@ -20,6 +20,8 @@ let make ~pfn ~table_cell : Types.pfdat =
     loaned_to = None;
     borrowed_from = None;
     extended = false;
+    cached = false;
+    import_gen = 0;
   }
 
 (* Find or create the pfdat for a frame in this cell's table. *)
@@ -50,7 +52,14 @@ let alloc_extended (c : Types.cell) ~pfn =
   pf
 
 let free_extended (c : Types.cell) (pf : Types.pfdat) =
+  (* A parked binding being torn down (recovery flush, invalidation,
+     writable rebind) must leave the import cache with it. *)
+  if pf.Types.cached then begin
+    pf.Types.cached <- false;
+    c.Types.import_cache <- List.filter (fun q -> q != pf) c.Types.import_cache
+  end;
   remove c pf;
+  pf.Types.imported_from <- None;
   Hashtbl.remove c.Types.frames pf.Types.pfn
 
 let is_idle (pf : Types.pfdat) =

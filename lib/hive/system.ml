@@ -39,6 +39,8 @@ let reintegrate (sys : Types.system) cell_id =
   Hashtbl.reset c.Types.frames;
   c.Types.free_frames <- [];
   c.Types.reserved_loans <- [];
+  c.Types.import_cache <- [];
+  Hashtbl.reset c.Types.readahead;
   Hashtbl.iter
     (fun _ (f : Types.file) -> Hashtbl.reset f.Types.cached_pages)
     c.Types.files;

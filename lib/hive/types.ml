@@ -63,6 +63,14 @@ type pfdat = {
   mutable loaned_to : cell_id option; (* memory-home side *)
   mutable borrowed_from : cell_id option; (* data-home side *)
   mutable extended : bool;
+  (* import cache *)
+  mutable cached : bool;
+      (* client side: a released read-only import parked in the cell's
+         import cache for RPC-free re-access *)
+  mutable import_gen : generation;
+      (* file generation the data home reported when this binding was
+         imported; a parked binding is only valid while the home's
+         generation still equals it *)
 }
 
 (* A file homed on some cell. [disk_block] is its start block on the data
@@ -189,6 +197,11 @@ type rpc_session = {
   rs_replies : (int, rpc_reply_state) Hashtbl.t; (* call id -> state *)
 }
 
+(* Per-file sequential-fault detector driving the adaptive read-ahead
+   window: [ra_last] is the highest file page the last locate fetched,
+   [ra_window] the number of pages the next sequential miss will ask for. *)
+type ra_stream = { mutable ra_last : int; mutable ra_window : int }
+
 type cell = {
   cell_id : cell_id;
   cell_nodes : int list; (* node ids owned throughout execution *)
@@ -224,6 +237,11 @@ type cell = {
   rpc_queue : (unit -> unit) Sim.Mailbox.t; (* queued-service requests *)
   release_queue : pfdat Sim.Mailbox.t;
       (* imports released by exiting processes, drained by a kernel thread *)
+  mutable import_cache : pfdat list;
+      (* released read-only imports parked for RPC-free re-access, most
+         recently used first; bounded by Params.import_cache_pages *)
+  readahead : (fid, ra_stream) Hashtbl.t;
+      (* per-file sequential fault streams (remote files only) *)
   swap_table : (logical_id, Bytes.t) Hashtbl.t;
       (* anonymous pages swapped out to this cell's swap partition *)
   mutable swap_blocks_used : int;

@@ -149,7 +149,7 @@ let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
         let lid =
           { Types.tag = Types.Anon_obj { cow_home = owner; node_id }; page }
         in
-        Ok (Share.import sys c ~pfn ~data_home:owner ~lid ~writable)
+        Ok (Share.import sys c ~pfn ~data_home:owner ~lid ~gen:0 ~writable)
       | Ok _ -> Error Types.EFAULT
       | Error e -> Error e)
   end
@@ -354,6 +354,7 @@ let unmap_all (sys : Types.system) (p : Types.process) =
         pf.Types.extended
         && pf.Types.imported_from <> None
         && pf.Types.refs = 0
+        && not pf.Types.cached (* parked bindings are already released *)
       then Sim.Mailbox.send sys.Types.eng c.Types.release_queue pf)
 
 (* TLB flush + removal of all remote mappings and import bindings: the
@@ -384,7 +385,13 @@ let flush_remote_bindings (sys : Types.system) (c : Types.cell) =
   Pfdat.iter_pages c (fun pf ->
       if pf.Types.extended && pf.Types.imported_from <> None then
         imports := pf :: !imports);
-  List.iter (fun pf -> Share.drop_import c pf) !imports
+  List.iter (fun pf -> Share.drop_import c pf) !imports;
+  (* No parked binding may survive recovery: a data home may be dead or
+     about to bump generations, and the post-recovery world re-locates
+     everything from scratch. drop_import already unparked each binding;
+     this also resets the cache list and the read-ahead detectors. *)
+  c.Types.import_cache <- [];
+  Hashtbl.reset c.Types.readahead
 
 (* Post-barrier-1 VM cleanup: revoke grants to dead cells, preemptively
    discard every local page writable by a failed cell, clear export

@@ -257,13 +257,30 @@ let test_close_releases_imports () =
             in
             assert (imported_before > 0);
             Hive.Syscall.close sys p ~fd;
-            let imported_after =
-              Hashtbl.fold
-                (fun _ (pf : Hive.Types.pfdat) n ->
-                  if pf.Hive.Types.imported_from <> None then n + 1 else n)
-                c1.Hive.Types.page_hash 0
+            (* Close no longer drops read-only bindings on the floor: they
+               park in the import cache, still bound but marked cached. *)
+            Hashtbl.iter
+              (fun _ (pf : Hive.Types.pfdat) ->
+                if pf.Hive.Types.imported_from <> None then begin
+                  assert pf.Hive.Types.cached;
+                  assert (List.memq pf c1.Hive.Types.import_cache)
+                end)
+              c1.Hive.Types.page_hash;
+            assert (List.length c1.Hive.Types.import_cache = imported_before);
+            (* Re-reading after close+reopen is served from the parked
+               bindings: cache hits, no new locate RPCs. *)
+            let locates_before =
+              Sim.Stats.value c1.Hive.Types.counters "fs.remote_locates"
             in
-            assert (imported_after = 0))
+            let fd = Hive.Syscall.openf sys p "/tmp/imports.txt" in
+            ignore (Hive.Syscall.pread sys p ~fd ~pos:0 ~len:8192);
+            Hive.Syscall.close sys p ~fd;
+            assert (
+              Sim.Stats.value c1.Hive.Types.counters "fs.remote_locates"
+              = locates_before);
+            assert (
+              Sim.Stats.value c1.Hive.Types.counters "share.cache_hits"
+              = imported_before))
       in
       run_to_completion sys p)
 

@@ -10,6 +10,7 @@ let () =
       ("rpc", Test_rpc.suite);
       ("careful", Test_careful.suite);
       ("sharing", Test_sharing.suite);
+      ("import-cache", Test_import_cache.suite);
       ("ssi", Test_ssi.suite);
       ("workloads", Test_workloads.suite);
       ("observability", Test_observability.suite);

@@ -41,7 +41,10 @@ let test_loaned_and_reimported () =
           Hive.Share.export sys c0 data_pf ~client:1 ~writable:false;
           (* Cell 1 imports the page that physically lives in its own
              loaned frame: the preexisting pfdat must be reused. *)
-          let imp = Hive.Share.import sys c1 ~pfn ~data_home:0 ~lid ~writable:false in
+          let imp =
+            Hive.Share.import sys c1 ~pfn ~data_home:0 ~lid ~gen:0
+              ~writable:false
+          in
           Alcotest.(check bool) "reused the loaned pfdat" true (imp == home_pf);
           Alcotest.(check bool) "logical level bound" true
             (imp.Hive.Types.imported_from = Some 0);
@@ -151,7 +154,7 @@ let qcheck_firewall_tracks_exports =
                   Hive.Share.export sys c0 pf ~client:1 ~writable;
                   ignore
                     (Hive.Share.import sys c1 ~pfn:pf.Hive.Types.pfn
-                       ~data_home:0 ~lid ~writable);
+                       ~data_home:0 ~lid ~gen:0 ~writable);
                   if writable then Hashtbl.replace writable_exports page ()
                 end;
                 let expected = Hashtbl.length writable_exports in
