@@ -4,25 +4,116 @@
      hive_sim workload ocean --cells 1 --smp
      hive_sim fault node --cells 4 --node 2 --at-ms 300
      hive_sim fault corrupt-cow --cells 4 --victim 1
-     hive_sim sweep pmake *)
+     hive_sim sweep --areas sharing --quick
+     hive_sim sweep pmake --cells 2 *)
 
 open Cmdliner
 
-let boot ?(legacy_sharing = false) ~ncells ~smp ~oracle () =
+(* ---- shared machine-shape and output terms ----
+
+   Every subcommand that boots a system (or filters sweep rows) takes the
+   same four shape flags; every subcommand that can emit observability
+   artifacts takes the same two output flags. *)
+
+type shape = {
+  sh_cells : int option;
+  sh_nodes : int option;
+  sh_smp : bool;
+  sh_no_import_cache : bool;
+}
+
+type output = { out_trace : string option; out_metrics : string option }
+
+let shape_term =
+  let cells =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cells" ] ~docv:"N"
+          ~doc:
+            "Number of cells (default 4). In sweep mode: keep only grid \
+             rows with $(docv) cells.")
+  in
+  let nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Number of nodes (default: the stock machine). In sweep mode: \
+             keep only grid rows with $(docv) nodes.")
+  in
+  let smp =
+    Arg.(
+      value & flag
+      & info [ "smp" ]
+          ~doc:
+            "Run the SMP-OS baseline (one kernel, firewall disabled). In \
+             sweep mode: keep only SMP-baseline rows.")
+  in
+  let no_import_cache =
+    Arg.(
+      value & flag
+      & info [ "no-import-cache" ]
+          ~doc:
+            "Run with the legacy sharing protocol: no remote-page import \
+             cache, no fault read-ahead, one share.release RPC per page. \
+             Useful as the A side of an A/B against the default protocol. \
+             In sweep mode: keep only legacy-protocol rows.")
+  in
+  Term.(
+    const (fun sh_cells sh_nodes sh_smp sh_no_import_cache ->
+        { sh_cells; sh_nodes; sh_smp; sh_no_import_cache })
+    $ cells $ nodes $ smp $ no_import_cache)
+
+let output_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event JSON file of the run (load it in \
+             chrome://tracing or Perfetto).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run typed metrics snapshot (per-op RPC \
+             latency histograms, per-cell counters, sharing totals, \
+             recovery timeline) as JSON.")
+  in
+  Term.(
+    const (fun out_trace out_metrics -> { out_trace; out_metrics })
+    $ trace $ metrics)
+
+let boot_shape ?(oracle = false) ?wax shape =
+  let ncells = Option.value ~default:4 shape.sh_cells in
   let eng = Sim.Engine.create () in
   let mcfg =
-    if smp then { Flash.Config.default with firewall_enabled = false }
-    else Flash.Config.default
+    match shape.sh_nodes with
+    | None -> Flash.Config.default
+    | Some n -> Flash.Config.with_nodes Flash.Config.default n
+  in
+  let mcfg =
+    if shape.sh_smp then { mcfg with Flash.Config.firewall_enabled = false }
+    else mcfg
   in
   let params =
-    if legacy_sharing then Hive.Params.legacy_sharing Hive.Params.default
+    if shape.sh_no_import_cache then
+      Hive.Params.legacy_sharing Hive.Params.default
     else Hive.Params.default
   in
   let sys =
-    Hive.System.boot ~mcfg ~params ~ncells ~multicellular:(not smp) ~oracle
-      ~wax:(not smp) eng
+    Hive.System.boot ~mcfg ~params ~ncells ~multicellular:(not shape.sh_smp)
+      ~oracle
+      ~wax:(Option.value ~default:(not shape.sh_smp) wax)
+      eng
   in
-  (eng, sys)
+  (eng, sys, ncells)
 
 let setup_and_run sys = function
   | "pmake" ->
@@ -57,26 +148,23 @@ let attach_trace sys = function
     Sim.Event.attach sys.Hive.Types.events sink;
     close
 
-let finish_observability sys ~trace_close ~metrics_json =
+let finish_observability sys ~trace_close ~(output : output) =
   trace_close ();
-  (match metrics_json with
+  (match output.out_metrics with
   | None -> ()
   | Some path -> Hive.Metrics.write_file sys path);
-  Hive.Metrics.print_summary sys
+  Hive.Metrics.print_summary (Hive.Metrics.capture sys)
 
 (* ---- workload command ---- *)
 
-let run_workload name ncells smp no_import_cache verbose trace_out
-    metrics_json =
+let run_workload name shape verbose output =
   if verbose then Sim.Trace.set_level Sim.Trace.Info;
-  let _eng, sys =
-    boot ~legacy_sharing:no_import_cache ~ncells ~smp ~oracle:false ()
-  in
-  let trace_close = attach_trace sys trace_out in
+  let _eng, sys, ncells = boot_shape shape in
+  let trace_close = attach_trace sys output.out_trace in
   let result, _ = setup_and_run sys name in
   Printf.printf "%s on %s (%d cell%s): %.3f s simulated%s\n"
     result.Workloads.Workload.name
-    (if smp then "SMP-OS baseline" else "Hive")
+    (if shape.sh_smp then "SMP-OS baseline" else "Hive")
     ncells
     (if ncells = 1 then "" else "s")
     (Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns)
@@ -88,35 +176,59 @@ let run_workload name ncells smp no_import_cache verbose trace_out
           (Workloads.Workload.verify_outcome_to_string v))
     (verify_of sys name);
   if verbose then print_counters sys;
-  finish_observability sys ~trace_close ~metrics_json;
+  finish_observability sys ~trace_close ~output;
   0
 
-(* ---- sweep command: all configurations of one workload ---- *)
+(* ---- sweep command: thin wrapper over the Bench.Sweep registry ---- *)
 
-let run_sweep name =
-  let time ncells smp =
-    let _eng, sys = boot ~ncells ~smp ~oracle:false () in
-    let result, _ = setup_and_run sys name in
-    Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns
+let run_sweep workload shape areas quick out_dir =
+  Bench.Scenarios.register ();
+  let known = Bench.Scenario.areas () in
+  let bad =
+    match areas with
+    | None -> []
+    | Some l -> List.filter (fun a -> not (List.mem a known)) l
   in
-  let base = time 1 true in
-  Printf.printf "%s: IRIX-mode %.2fs" name base;
-  List.iter
-    (fun n ->
-      let t = time n false in
-      Printf.printf "   %d cell%s %+.1f%%" n
-        (if n = 1 then "" else "s")
-        ((t -. base) /. base *. 100.))
-    [ 1; 2; 4 ];
-  print_newline ();
-  0
+  if bad <> [] then begin
+    Printf.eprintf "sweep: unknown area(s) %s (have: %s)\n"
+      (String.concat ", " bad)
+      (String.concat ", " known);
+    2
+  end
+  else begin
+    let dims_filter (d : Bench.Scenario.dims) =
+      (match workload with
+      | None -> true
+      | Some w -> d.Bench.Scenario.workload = w)
+      && (match shape.sh_cells with
+         | None -> true
+         | Some n -> d.Bench.Scenario.cells = n)
+      && (match shape.sh_nodes with
+         | None -> true
+         | Some n -> d.Bench.Scenario.nodes = n)
+      && ((not shape.sh_smp) || d.Bench.Scenario.smp)
+      && ((not shape.sh_no_import_cache)
+         || not d.Bench.Scenario.import_cache)
+    in
+    let reports = Bench.Sweep.run ?areas ~quick ~dims_filter () in
+    (match out_dir with
+    | None -> ()
+    | Some dir ->
+      let written = Bench.Sweep.write_dir ~dir reports in
+      List.iter (fun p -> Printf.printf "wrote %s\n" p) written);
+    if List.for_all (fun r -> r.Bench.Sweep.a_rows = []) reports then begin
+      Printf.eprintf "sweep: no grid rows matched the given filters\n";
+      1
+    end
+    else 0
+  end
 
 (* ---- fault command ---- *)
 
-let run_fault kind ncells node victim at_ms cascade_node oracle link_from
-    drop_pct dup_pct delay_pct dur_ms trace_out metrics_json =
-  let eng, sys = boot ~ncells ~smp:false ~oracle () in
-  let trace_close = attach_trace sys trace_out in
+let run_fault kind shape node victim at_ms cascade_node oracle link_from
+    drop_pct dup_pct delay_pct dur_ms output =
+  let eng, sys, _ = boot_shape ~oracle ~wax:false shape in
+  let trace_close = attach_trace sys output.out_trace in
   Workloads.Pmake.setup sys Workloads.Pmake.default;
   let t_inject = ref 0L in
   let rng = Sim.Prng.create 1 in
@@ -237,28 +349,34 @@ let run_fault kind ncells node victim at_ms cascade_node oracle link_from
       (Workloads.Pmake.verify sys)
   in
   Printf.printf "corrupt outputs: %d (must be 0)\n" (List.length corrupt);
-  finish_observability sys ~trace_close ~metrics_json;
+  finish_observability sys ~trace_close ~output;
   if corrupt = [] then 0 else 1
 
 (* ---- fuzz command ---- *)
 
-let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug =
+let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug output =
   let out_chan = Option.map open_out out in
   let emit r =
     match out_chan with
     | Some oc -> output_string oc (Faultinj.Fuzz.record_to_json r ^ "\n")
     | None -> ()
   in
-  let run_one seed =
+  let run_one ?trace_out ?metrics_out seed =
     let plan = Faultinj.Fuzz.plan_of_seed seed in
-    let r = Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug plan in
+    let r =
+      Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ?trace_out ?metrics_out plan
+    in
     emit r;
     if Faultinj.Fuzz.failed r then begin
       Printf.printf "FAIL %s\n" (Faultinj.Fuzz.record_to_json r);
-      (* Replay the failing seed with a Chrome trace for post-mortem. *)
-      let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
-      ignore (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~trace_out:trace plan);
-      Printf.printf "  trace written to %s\n" trace;
+      (* Replay the failing seed with a Chrome trace for post-mortem
+         (unless this run already wrote one). *)
+      if trace_out = None then begin
+        let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
+        ignore
+          (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~trace_out:trace plan);
+        Printf.printf "  trace written to %s\n" trace
+      end;
       if shrink_flag then begin
         let p', r' = Faultinj.Fuzz.shrink ~demo_bug ~dup_bug plan in
         Printf.printf "  shrunk to: %s\n" (Faultinj.Fuzz.describe_plan p');
@@ -278,7 +396,9 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug =
   in
   let ok =
     match replay with
-    | Some seed -> run_one seed
+    | Some seed ->
+      run_one ?trace_out:output.out_trace ?metrics_out:output.out_metrics
+        seed
     | None ->
       let failures = ref 0 in
       for i = 0 to seeds - 1 do
@@ -293,44 +413,8 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug =
 
 (* ---- cmdliner terms ---- *)
 
-let cells_arg =
-  Arg.(value & opt int 4 & info [ "cells" ] ~docv:"N" ~doc:"Number of cells.")
-
-let smp_arg =
-  Arg.(
-    value & flag
-    & info [ "smp" ]
-        ~doc:"Run the SMP-OS baseline (one kernel, firewall disabled).")
-
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print kernel counters.")
-
-let no_import_cache_arg =
-  Arg.(
-    value & flag
-    & info [ "no-import-cache" ]
-        ~doc:
-          "Run with the legacy sharing protocol: no remote-page import \
-           cache, no fault read-ahead, one share.release RPC per page. \
-           Useful as the A side of an A/B against the default protocol.")
-
-let trace_out_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE"
-        ~doc:
-          "Write a Chrome trace_event JSON file of the run (load it in \
-           chrome://tracing or Perfetto).")
-
-let metrics_json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "metrics-json" ] ~docv:"FILE"
-        ~doc:
-          "Write end-of-run metrics (per-op RPC latency histograms, \
-           per-cell counters, recovery timeline) as JSON.")
 
 let workload_name =
   Arg.(
@@ -342,13 +426,51 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run one workload on a chosen configuration.")
     Term.(
-      const run_workload $ workload_name $ cells_arg $ smp_arg
-      $ no_import_cache_arg $ verbose_arg $ trace_out_arg $ metrics_json_arg)
+      const run_workload $ workload_name $ shape_term $ verbose_arg
+      $ output_term)
+
+let sweep_workload =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD"
+        ~doc:
+          "Optional workload filter: keep only grid rows of this workload \
+           (e.g. pmake, ocean, raytrace, rpc, read).")
+
+let areas_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "areas" ] ~docv:"A,B"
+        ~doc:"Restrict the sweep to the named benchmark areas.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Run each scenario's reduced grid (the subset CI exercises) \
+           instead of the full grid.")
+
+let out_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Write one BENCH_<area>.json per area into $(docv).")
 
 let sweep_cmd =
   Cmd.v
-    (Cmd.info "sweep" ~doc:"Run a workload across all cell configurations.")
-    Term.(const run_sweep $ workload_name)
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the registered benchmark scenarios across their dimension \
+          grids (workload x cells x nodes x working set x link degradation \
+          x import cache) and optionally emit the deterministic \
+          BENCH_<area>.json trajectory files.")
+    Term.(
+      const run_sweep $ sweep_workload $ shape_term $ areas_arg $ quick_arg
+      $ out_dir_arg)
 
 let fault_kind =
   Arg.(
@@ -430,10 +552,10 @@ let fault_cmd =
     (Cmd.info "fault"
        ~doc:"Inject a fault during pmake and report containment.")
     Term.(
-      const run_fault $ fault_kind $ cells_arg $ node_arg $ victim_arg
+      const run_fault $ fault_kind $ shape_term $ node_arg $ victim_arg
       $ at_ms_arg $ cascade_node_arg $ oracle_arg $ link_from_arg
       $ drop_pct_arg $ dup_pct_arg $ delay_pct_arg $ dur_ms_arg
-      $ trace_out_arg $ metrics_json_arg)
+      $ output_term)
 
 let seeds_arg =
   Arg.(
@@ -491,10 +613,11 @@ let fuzz_cmd =
          "Deterministic fault-campaign fuzzing: each seed derives a machine \
           shape, workload, scheduler jitter and fault schedule; system-wide \
           invariants are checked at end of run. Failing seeds replay \
-          bit-for-bit and can be shrunk.")
+          bit-for-bit and can be shrunk. With --replay, --trace-out and \
+          --metrics-json capture that run's artifacts.")
     Term.(
       const run_fuzz $ seeds_arg $ seed_base_arg $ replay_arg $ shrink_arg
-      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg)
+      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg $ output_term)
 
 let main =
   Cmd.group

@@ -1,0 +1,180 @@
+(* Trajectory regression gate: see the .mli. *)
+
+type finding = {
+  f_area : string;
+  f_scenario : string;
+  f_dims : Scenario.dims;
+  f_metric : string;
+  f_baseline : float;
+  f_fresh : float;
+  f_change_pct : float;
+}
+
+type verdict = {
+  regressions : finding list;
+  improvements : finding list;
+  notes : string list;
+  compared : int;
+}
+
+let default_threshold = 0.20
+
+(* Signed relative change of [fresh] against [baseline], oriented so that
+   positive = worse for the metric's direction. A zero baseline with a
+   nonzero fresh value counts as a full-scale move. *)
+let adverse_change (dir : Scenario.direction) ~baseline ~fresh =
+  let rel =
+    if baseline = 0. then (if fresh = 0. then 0. else Float.infinity)
+    else (fresh -. baseline) /. Float.abs baseline
+  in
+  match dir with
+  | Scenario.Lower_better -> rel
+  | Scenario.Higher_better -> -.rel
+  | Scenario.Info -> 0.
+
+let signed_change ~baseline ~fresh =
+  if baseline = 0. then if fresh = 0. then 0. else Float.infinity
+  else (fresh -. baseline) /. Float.abs baseline *. 100.
+
+let compare_reports ?(threshold = default_threshold) ~baseline ~fresh () =
+  let regressions = ref [] in
+  let improvements = ref [] in
+  let notes = ref [] in
+  let compared = ref 0 in
+  let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+  let fresh_area a =
+    List.find_opt (fun (r : Sweep.report) -> r.Sweep.a_area = a) fresh
+  in
+  List.iter
+    (fun (brep : Sweep.report) ->
+      match fresh_area brep.Sweep.a_area with
+      | None -> note "area %s: no fresh sweep (skipped)" brep.Sweep.a_area
+      | Some frep ->
+        List.iter
+          (fun (brow : Sweep.row) ->
+            let key (r : Sweep.row) =
+              (r.Sweep.r_scenario, r.Sweep.r_dims)
+            in
+            match
+              List.find_opt
+                (fun r -> key r = key brow)
+                frep.Sweep.a_rows
+            with
+            | None ->
+              note "%s %s [%s]: not in fresh sweep (skipped)"
+                brep.Sweep.a_area brow.Sweep.r_scenario
+                (Scenario.dims_label brow.Sweep.r_dims)
+            | Some frow ->
+              List.iter
+                (fun (bm : Scenario.metric) ->
+                  match
+                    List.find_opt
+                      (fun (m : Scenario.metric) ->
+                        m.Scenario.m_name = bm.Scenario.m_name)
+                      frow.Sweep.r_metrics
+                  with
+                  | None ->
+                    note "%s %s [%s] %s: metric missing from fresh sweep"
+                      brep.Sweep.a_area brow.Sweep.r_scenario
+                      (Scenario.dims_label brow.Sweep.r_dims)
+                      bm.Scenario.m_name
+                  | Some fm ->
+                    if bm.Scenario.m_dir <> Scenario.Info then begin
+                      incr compared;
+                      let adverse =
+                        adverse_change bm.Scenario.m_dir
+                          ~baseline:bm.Scenario.m_value
+                          ~fresh:fm.Scenario.m_value
+                      in
+                      let finding =
+                        {
+                          f_area = brep.Sweep.a_area;
+                          f_scenario = brow.Sweep.r_scenario;
+                          f_dims = brow.Sweep.r_dims;
+                          f_metric = bm.Scenario.m_name;
+                          f_baseline = bm.Scenario.m_value;
+                          f_fresh = fm.Scenario.m_value;
+                          f_change_pct =
+                            signed_change ~baseline:bm.Scenario.m_value
+                              ~fresh:fm.Scenario.m_value;
+                        }
+                      in
+                      if adverse > threshold then
+                        regressions := finding :: !regressions
+                      else if adverse < -.threshold then
+                        improvements := finding :: !improvements
+                    end)
+                brow.Sweep.r_metrics)
+          brep.Sweep.a_rows)
+    baseline;
+  (* Fresh rows with no baseline: future trajectory entries, noted only. *)
+  List.iter
+    (fun (frep : Sweep.report) ->
+      let base_area =
+        List.find_opt
+          (fun (r : Sweep.report) -> r.Sweep.a_area = frep.Sweep.a_area)
+          baseline
+      in
+      List.iter
+        (fun (frow : Sweep.row) ->
+          let missing =
+            match base_area with
+            | None -> true
+            | Some brep ->
+              not
+                (List.exists
+                   (fun (r : Sweep.row) ->
+                     r.Sweep.r_scenario = frow.Sweep.r_scenario
+                     && r.Sweep.r_dims = frow.Sweep.r_dims)
+                   brep.Sweep.a_rows)
+          in
+          if missing then
+            note "%s %s [%s]: new row, no baseline yet" frep.Sweep.a_area
+              frow.Sweep.r_scenario
+              (Scenario.dims_label frow.Sweep.r_dims))
+        frep.Sweep.a_rows)
+    fresh;
+  {
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    notes = List.rev !notes;
+    compared = !compared;
+  }
+
+let print_finding ~tag f =
+  Printf.printf "%s %s/%s [%s] %s: %s -> %s (%+.1f%%)\n" tag f.f_area
+    f.f_scenario
+    (Scenario.dims_label f.f_dims)
+    f.f_metric
+    (Sim.Json.float_repr f.f_baseline)
+    (Sim.Json.float_repr f.f_fresh)
+    f.f_change_pct
+
+let run_dirs ?(threshold = default_threshold) ~baseline_dir ~fresh_dir () =
+  match (Sweep.load_dir baseline_dir, Sweep.load_dir fresh_dir) with
+  | Error e, _ ->
+    Printf.eprintf "bench diff: baseline %s: %s\n" baseline_dir e;
+    2
+  | _, Error e ->
+    Printf.eprintf "bench diff: fresh %s: %s\n" fresh_dir e;
+    2
+  | Ok baseline, Ok fresh ->
+    if baseline = [] then begin
+      Printf.eprintf "bench diff: no BENCH_*.json in baseline %s\n"
+        baseline_dir;
+      2
+    end
+    else begin
+      let v = compare_reports ~threshold ~baseline ~fresh () in
+      List.iter (print_finding ~tag:"REGRESSION") v.regressions;
+      List.iter (print_finding ~tag:"improvement") v.improvements;
+      List.iter (fun n -> Printf.printf "note: %s\n" n) v.notes;
+      Printf.printf
+        "bench diff: %d metric(s) compared, %d regression(s), %d \
+         improvement(s) at %.0f%% threshold\n"
+        v.compared
+        (List.length v.regressions)
+        (List.length v.improvements)
+        (threshold *. 100.);
+      if v.regressions <> [] then 1 else 0
+    end

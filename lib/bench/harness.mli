@@ -1,0 +1,43 @@
+(** Shared plumbing for the benchmark sections and sweep scenarios:
+    booting a system, timing a simulation-thread body in virtual time,
+    the no-op RPC ops, and a warmed data-home file. *)
+
+val section_header : string -> unit
+
+(** Print one indented result line. *)
+val row : ('a, unit, string, unit) format4 -> 'a
+
+val compare_row :
+  label:string -> paper:string -> measured:string -> unit_:string -> unit
+
+val boot :
+  ?ncells:int ->
+  ?mcfg:Flash.Config.t ->
+  ?wax:bool ->
+  unit ->
+  Sim.Engine.t * Hive.Types.system
+
+(** Run a simulation-thread body to completion and return simulated ns. *)
+val timed_in_thread : Sim.Engine.t -> (unit -> unit) -> int64
+
+(** No-op RPC served at interrupt level / via the queued service. *)
+val noop_op : Hive.Rpc.Op.t
+
+val noop_queued_op : Hive.Rpc.Op.t
+
+(** Register the handlers for {!noop_op} and {!noop_queued_op}
+    (idempotent). *)
+val register_bench_ops : unit -> unit
+
+(** Average client-observed latency of [n] calls of [op], in us. *)
+val avg_rpc_us :
+  Sim.Engine.t ->
+  Hive.Types.system ->
+  op:Hive.Rpc.Op.t ->
+  arg_bytes:int ->
+  n:int ->
+  float
+
+(** Create an [npages]-page file homed on cell 0 and warm its page cache
+    there; returns the path. *)
+val make_warm_file : Hive.Types.system -> npages:int -> string

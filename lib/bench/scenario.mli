@@ -1,0 +1,70 @@
+(** Typed benchmark scenario registry, mirroring [Hive.Rpc.Op.declare]:
+    a scenario is declared once with its name, trajectory area, and the
+    dimension grid it covers; {!Sweep} runs each (scenario × dims) point
+    and emits one [BENCH_<area>.json] per area.
+
+    Every measured value is a function of simulated time and kernel
+    counters only — never wall clock — so a sweep over the same grid is
+    byte-identical across runs and machines, which is what lets CI diff a
+    fresh sweep against the committed trajectory. *)
+
+(** One point in the dimension grid. Scenarios ignore the dimensions that
+    do not apply to them (a pure RPC scenario has no working set); the
+    unused fields stay at their {!default_dims} values so row identity is
+    still well-defined. *)
+type dims = {
+  workload : string;  (** pmake | ocean | raytrace | rpc | read *)
+  cells : int;
+  nodes : int;  (** machine nodes; cells must divide nodes *)
+  ws_pages : int;  (** working-set size in pages, 0 = n/a *)
+  link_ms : int;
+      (** length of a 25%% drop/dup/delay degradation window armed from
+          t=0, 0 = healthy interconnect *)
+  import_cache : bool;  (** false = legacy sharing protocol *)
+  smp : bool;  (** SMP-OS baseline: one kernel, firewall off *)
+}
+
+val default_dims : dims
+
+(** Stable one-line rendering, e.g.
+    ["pmake cells=4 nodes=4 ws=0 link=0ms cache=on"]. *)
+val dims_label : dims -> string
+
+(** How {!Diff} should interpret a change in a metric's value. *)
+type direction =
+  | Lower_better
+  | Higher_better
+  | Info  (** context only: never flagged *)
+
+type metric = { m_name : string; m_value : float; m_dir : direction }
+
+val metric : ?dir:direction -> string -> float -> metric
+
+type t = private {
+  sc_name : string;
+  sc_area : string;
+  sc_doc : string;
+  sc_dims : dims list;  (** full grid, run order *)
+  sc_quick : dims list;  (** reduced grid for CI smoke sweeps *)
+  sc_run : dims -> metric list;
+}
+
+(** Declare a scenario; raises [Invalid_argument] on a duplicate name or
+    an empty grid. [quick] defaults to the first grid point. Call once at
+    module initialization (see {!Scenarios.register}). *)
+val declare :
+  name:string ->
+  area:string ->
+  ?doc:string ->
+  dims:dims list ->
+  ?quick:dims list ->
+  (dims -> metric list) ->
+  t
+
+(** Every declared scenario, in declaration order. *)
+val all : unit -> t list
+
+(** Distinct areas, sorted. *)
+val areas : unit -> string list
+
+val find : string -> t option

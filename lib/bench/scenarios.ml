@@ -1,0 +1,298 @@
+(* The shipped sweep scenarios. Every metric here is a function of
+   simulated time and kernel counters only — no wall clock — so each
+   (scenario × dims) point is byte-identical across runs and machines.
+   That determinism is what the committed BENCH_<area>.json trajectory
+   and the CI diff gate stand on. *)
+
+open Scenario
+
+(* Boot a system for one grid point. *)
+let boot_dims (dims : dims) =
+  let eng = Sim.Engine.create () in
+  let mcfg = Flash.Config.with_nodes Flash.Config.default dims.nodes in
+  let mcfg =
+    if dims.smp then { mcfg with Flash.Config.firewall_enabled = false }
+    else mcfg
+  in
+  let params =
+    if dims.import_cache then Hive.Params.default
+    else Hive.Params.legacy_sharing Hive.Params.default
+  in
+  let sys =
+    Hive.System.boot ~mcfg ~params ~ncells:dims.cells
+      ~multicellular:(not dims.smp) ~wax:false eng
+  in
+  (eng, sys)
+
+(* Arm a deterministic 25% drop/dup/delay window into cell 1's boss node
+   for [link_ms] (the Sips.degrade fault model the fuzzer uses). The
+   agreement hint path is detached so the row isolates the transport. *)
+let degrade_link sys (dims : dims) =
+  if dims.link_ms > 0 then begin
+    sys.Hive.Types.on_hint <- None;
+    Flash.Sips.degrade
+      (Flash.Machine.sips sys.Hive.Types.machine)
+      ~rng:(Sim.Prng.create 42)
+      {
+        Flash.Sips.deg_from = -1;
+        deg_to = sys.Hive.Types.cells.(1).Hive.Types.boss_node;
+        from_ns = 0L;
+        until_ns = Int64.of_int (dims.link_ms * 1_000_000);
+        drop_pct = 25;
+        dup_pct = 25;
+        delay_pct = 25;
+        max_delay_ns = 1_000_000L;
+      }
+  end
+
+let hit_rate_pct (snap : Hive.Metrics.Snapshot.t) =
+  100. *. Option.value ~default:0. snap.Hive.Metrics.Snapshot.cache_hit_rate
+
+let client_hist_exn snap op =
+  match Hive.Metrics.Snapshot.client_hist snap op with
+  | Some h -> h
+  | None -> failwith (Printf.sprintf "scenario: no %s calls recorded" op)
+
+(* ---------- area rpc ---------- *)
+
+let run_rpc ~op ~opname (dims : dims) =
+  let eng, sys = boot_dims dims in
+  Harness.register_bench_ops ();
+  degrade_link sys dims;
+  let n = 400 in
+  let ok = ref 0 and gave_up = ref 0 in
+  ignore
+    (Harness.timed_in_thread eng (fun () ->
+         for _ = 1 to n do
+           match
+             Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1 ~op
+               ?timeout_ns:(if dims.link_ms > 0 then Some 2_000_000L else None)
+               Hive.Types.P_unit
+           with
+           | Ok _ -> incr ok
+           | Error _ -> incr gave_up
+         done));
+  let snap = Hive.Metrics.capture sys in
+  let h = client_hist_exn snap opname in
+  let per name =
+    Array.fold_left
+      (fun acc (c : Hive.Types.cell) ->
+        acc + Sim.Stats.value c.Hive.Types.counters name)
+      0 sys.Hive.Types.cells
+  in
+  [
+    metric "p50_ns" h.Hive.Metrics.Snapshot.p50_ns;
+    metric "p95_ns" h.Hive.Metrics.Snapshot.p95_ns;
+    metric "p99_ns" h.Hive.Metrics.Snapshot.p99_ns;
+    metric "mean_ns" h.Hive.Metrics.Snapshot.mean_ns;
+    metric ~dir:Higher_better "completed" (float_of_int !ok);
+    metric ~dir:Info "retransmits" (float_of_int (per "rpc.retransmits"));
+    metric ~dir:Info "dup_suppressed"
+      (float_of_int (per "rpc.dup_suppressed"));
+  ]
+
+let rpc_base = { default_dims with workload = "rpc"; cells = 2; nodes = 4 }
+
+let declare_rpc () =
+  ignore
+    (declare ~name:"null-rpc" ~area:"rpc"
+       ~doc:
+         "400 interrupt-level null RPCs cell 0 -> 1; client-side latency \
+          percentiles, optionally through a degraded link."
+       ~dims:
+         [
+           rpc_base;
+           { rpc_base with cells = 4 };
+           { rpc_base with cells = 2; nodes = 2 };
+           { rpc_base with link_ms = 300 };
+           { rpc_base with cells = 4; link_ms = 300 };
+         ]
+       ~quick:[ rpc_base; { rpc_base with link_ms = 300 } ]
+       (run_rpc ~op:Harness.noop_op ~opname:"bench.noop"));
+  ignore
+    (declare ~name:"queued-rpc" ~area:"rpc"
+       ~doc:"400 null RPCs through the queued service and server pool."
+       ~dims:[ rpc_base; { rpc_base with cells = 4 } ]
+       ~quick:[ rpc_base ]
+       (run_rpc ~op:Harness.noop_queued_op ~opname:"bench.noop_queued"))
+
+(* ---------- area sharing ---------- *)
+
+(* Remote read faults from cell 1 against a file homed on cell 0: a cold
+   pass, then a second pass that must be served by the import cache when
+   it is enabled. *)
+let run_remote_read (dims : dims) =
+  let eng, sys = boot_dims dims in
+  let npages = dims.ws_pages in
+  let path = Harness.make_warm_file sys ~npages in
+  let c1 = sys.Hive.Types.cells.(1) in
+  let touch_pass () =
+    let acc = Sim.Stats.summary ~keep_samples:true () in
+    let p =
+      Hive.Process.spawn sys c1 ~name:"pass" (fun sys p ->
+          let fd = Hive.Syscall.openf sys p path in
+          let r = Hive.Syscall.mmap_file sys p ~fd ~npages ~writable:false in
+          for k = 0 to npages - 1 do
+            let t0 = Sim.Engine.time () in
+            Hive.Syscall.touch sys p ~vpage:(r.Hive.Types.start_page + k)
+              ~write:false;
+            Sim.Stats.add_ns acc (Int64.sub (Sim.Engine.time ()) t0)
+          done)
+    in
+    ignore
+      (Hive.System.run_until_processes_done sys
+         ~deadline:(Int64.add (Sim.Engine.now eng) 400_000_000_000L)
+         [ p ]);
+    (* Drain the reaper so exit-time releases park their bindings. *)
+    Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 100_000_000L) eng;
+    acc
+  in
+  let cold = touch_pass () in
+  let second = touch_pass () in
+  let snap = Hive.Metrics.capture sys in
+  let get = Hive.Metrics.Snapshot.sharing_total snap in
+  [
+    metric "cold_p50_us" (Sim.Stats.percentile cold 50. /. 1e3);
+    metric "second_p50_us" (Sim.Stats.percentile second 50. /. 1e3);
+    metric "locate_rpcs" (float_of_int (get "fs.remote_locates"));
+    metric ~dir:Higher_better "hit_rate_pct" (hit_rate_pct snap);
+    metric ~dir:Info "cache_hits" (float_of_int (get "share.cache_hits"));
+    metric ~dir:Info "readahead_pages"
+      (float_of_int (get "fs.readahead_pages"));
+  ]
+
+(* Full pmake with the sharing protocol of the grid point; demands
+   byte-identical workload output and reports sharing RPCs per remotely
+   accessed page — the number PR 5 moved from 1.907 to 0.245. *)
+let run_pmake_sharing (dims : dims) =
+  let eng, sys = boot_dims dims in
+  Workloads.Pmake.setup sys Workloads.Pmake.default;
+  let result, _ = Workloads.Pmake.run sys in
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 300_000_000L) eng;
+  let bad =
+    List.filter
+      (fun (_, v) -> v <> Workloads.Workload.Match)
+      (Workloads.Pmake.verify sys)
+  in
+  if bad <> [] then
+    failwith
+      (Printf.sprintf "pmake-sharing: output not byte-identical (%s)"
+         (String.concat ", " (List.map fst bad)));
+  let snap = Hive.Metrics.capture sys in
+  let hist_count op =
+    match Hive.Metrics.Snapshot.client_hist snap op with
+    | Some h -> h.Hive.Metrics.Snapshot.count
+    | None -> 0
+  in
+  let rpcs =
+    hist_count "fs.locate" + hist_count "share.release"
+    + hist_count "share.release_batch"
+    + hist_count "share.invalidate"
+  in
+  let get = Hive.Metrics.Snapshot.sharing_total snap in
+  let pages = get "share.imports" + get "share.cache_hits" in
+  [
+    metric "elapsed_ms"
+      (Int64.to_float result.Workloads.Workload.elapsed_ns /. 1e6);
+    metric "rpcs_per_page" (float_of_int rpcs /. float_of_int (max 1 pages));
+    metric ~dir:Higher_better "hit_rate_pct" (hit_rate_pct snap);
+    metric ~dir:Info "sharing_rpcs" (float_of_int rpcs);
+    metric ~dir:Info "remote_pages" (float_of_int pages);
+  ]
+
+let read_base =
+  { default_dims with workload = "read"; cells = 2; nodes = 4; ws_pages = 64 }
+
+let pmake_share_base =
+  { default_dims with workload = "pmake"; cells = 4; nodes = 4 }
+
+let declare_sharing () =
+  ignore
+    (declare ~name:"remote-read" ~area:"sharing"
+       ~doc:
+         "Sequential remote read faults against a warm data home; second \
+          pass must hit the import cache when enabled."
+       ~dims:
+         [
+           read_base;
+           { read_base with ws_pages = 256 };
+           { read_base with import_cache = false };
+           { read_base with ws_pages = 256; import_cache = false };
+           { read_base with nodes = 2 };
+         ]
+       ~quick:[ read_base; { read_base with import_cache = false } ]
+       run_remote_read);
+  ignore
+    (declare ~name:"pmake-sharing" ~area:"sharing"
+       ~doc:
+         "Full pmake; sharing RPCs per remotely accessed page with the \
+          import cache on/off, output verified byte-identical."
+       ~dims:
+         [
+           pmake_share_base;
+           { pmake_share_base with import_cache = false };
+           { pmake_share_base with cells = 2 };
+           { pmake_share_base with cells = 2; import_cache = false };
+         ]
+       ~quick:
+         [
+           { pmake_share_base with cells = 2 };
+           { pmake_share_base with cells = 2; import_cache = false };
+         ]
+       run_pmake_sharing)
+
+(* ---------- area workloads ---------- *)
+
+let run_workload_point (dims : dims) =
+  let _eng, sys = boot_dims dims in
+  let result, _ =
+    match dims.workload with
+    | "pmake" ->
+      Workloads.Pmake.setup sys Workloads.Pmake.default;
+      Workloads.Pmake.run sys
+    | "ocean" ->
+      Workloads.Ocean.setup sys Workloads.Ocean.default;
+      Workloads.Ocean.run sys
+    | "raytrace" -> Workloads.Raytrace.run sys
+    | other -> failwith ("unknown workload " ^ other)
+  in
+  [
+    metric "elapsed_ms"
+      (Int64.to_float result.Workloads.Workload.elapsed_ns /. 1e6);
+    metric ~dir:Higher_better "completed"
+      (if result.Workloads.Workload.completed then 1. else 0.);
+    metric ~dir:Info "procs_killed"
+      (float_of_int result.Workloads.Workload.procs_killed);
+  ]
+
+let declare_workloads () =
+  let grid name rows quick =
+    let base = { default_dims with workload = name; nodes = 4 } in
+    let point (cells, smp) = { base with cells; smp } in
+    ignore
+      (declare ~name ~area:"workloads"
+         ~doc:
+           (name
+          ^ " end-to-end simulated run time across machine shapes (smp = \
+             SMP-OS baseline)")
+         ~dims:(List.map point rows)
+         ~quick:(List.map point quick)
+         run_workload_point)
+  in
+  grid "pmake"
+    [ (1, true); (1, false); (2, false); (4, false) ]
+    [ (2, false) ];
+  grid "ocean" [ (1, true); (1, false); (4, false) ] [ (4, false) ];
+  grid "raytrace" [ (1, false); (4, false) ] [ (4, false) ]
+
+(* ---------- registration ---------- *)
+
+let registered = ref false
+
+let register () =
+  if not !registered then begin
+    registered := true;
+    declare_rpc ();
+    declare_sharing ();
+    declare_workloads ()
+  end

@@ -1,0 +1,6 @@
+(** The shipped scenario set: [null-rpc] / [queued-rpc] (area [rpc]),
+    [remote-read] / [pmake-sharing] (area [sharing]), and one scenario per
+    workload (area [workloads]). [register] declares them all into the
+    {!Scenario} registry; idempotent, call before {!Sweep.run}. *)
+
+val register : unit -> unit

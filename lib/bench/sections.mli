@@ -1,0 +1,11 @@
+(** The paper-reproduction benchmark sections (Tables 3.4–8.1 plus the
+    repo's own ablations, resilience, fuzz-throughput and simulator
+    micro-benchmarks), formerly the monolithic [bench/main.ml]. Each
+    section prints paper-vs-measured rows; [quick] samples the long
+    fault-injection campaigns instead of running all 69 tests. *)
+
+val all : (string * (quick:bool -> unit)) list
+
+val names : string list
+
+val find : string -> (quick:bool -> unit) option

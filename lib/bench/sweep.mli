@@ -1,0 +1,40 @@
+(** The dimensional sweep driver: run every registered scenario over its
+    grid and emit one deterministic [BENCH_<area>.json] per area — the
+    machine-readable perf trajectory CI diffs against (see {!Diff}). *)
+
+type row = {
+  r_scenario : string;
+  r_dims : Scenario.dims;
+  r_metrics : Scenario.metric list;
+}
+
+type report = { a_area : string; a_rows : row list }
+
+(** Run the sweep. [areas] restricts to the named areas; [quick] runs each
+    scenario's reduced grid; [dims_filter] drops grid points (both default
+    to everything). [verbose] (default true) prints each row's metrics as
+    it completes. Reports are sorted by area; rows keep scenario
+    declaration order. *)
+val run :
+  ?areas:string list ->
+  ?quick:bool ->
+  ?dims_filter:(Scenario.dims -> bool) ->
+  ?verbose:bool ->
+  unit ->
+  report list
+
+val report_to_json : report -> Sim.Json.t
+
+val report_of_json : Sim.Json.t -> (report, string) result
+
+(** ["BENCH_<area>.json"]. *)
+val file_name : area:string -> string
+
+(** Write each report to [dir/BENCH_<area>.json] (pretty-printed, stable);
+    returns the paths written. *)
+val write_dir : dir:string -> report list -> string list
+
+val load_file : string -> (report, string) result
+
+(** Load every [BENCH_*.json] in a directory, sorted by area. *)
+val load_dir : string -> (report list, string) result

@@ -234,7 +234,8 @@ let check_cfg =
 
 let quiesce_deadline_ns = 10_000_000_000L
 
-let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out plan =
+let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
+    plan =
   let eng = Sim.Engine.create () in
   let nodes = plan.ncells * plan.nodes_per_cell in
   let mcfg =
@@ -406,6 +407,7 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out plan =
   | Sim.Engine.Deadlock msg -> vio "deadlock" msg
   | e -> vio "exception" (Printexc.to_string e));
   close_trace ();
+  Option.iter (fun path -> Hive.Metrics.write_file sys path) metrics_out;
   if dup_bug then Hive.Rpc.disable_dup_suppression := false;
   {
     r_seed = plan.seed;

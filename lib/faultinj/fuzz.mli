@@ -41,9 +41,15 @@ val describe_plan : plan -> string
     reply-cache suppression is disabled while a duplication-heavy
     machine-wide degradation window runs, so retransmitted requests
     execute twice and the at-most-once checker must flag it.
-    [trace_out] writes a Chrome trace_event JSON file of the run. *)
+    [trace_out] writes a Chrome trace_event JSON file of the run;
+    [metrics_out] writes the end-of-run typed metrics snapshot as JSON. *)
 val run_plan :
-  ?demo_bug:bool -> ?dup_bug:bool -> ?trace_out:string -> plan -> record
+  ?demo_bug:bool ->
+  ?dup_bug:bool ->
+  ?trace_out:string ->
+  ?metrics_out:string ->
+  plan ->
+  record
 
 val failed : record -> bool
 

@@ -1,0 +1,314 @@
+(* Minimal JSON: one document model, one printer, one parser. Kept
+   dependency-free on purpose — see the .mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Shortest decimal form that parses back to the same float. The result
+   always contains '.' or 'e' so it re-parses as a float, never an int;
+   non-finite values (which JSON cannot express) become "null". *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
+
+let rec print ~pretty ~indent b v =
+  let nl_indent extra =
+    if pretty then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make ((indent + extra) * 2) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (Int64.to_string i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | Str s ->
+    Buffer.add_char b '"';
+    escape_into b s;
+    Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        nl_indent 1;
+        print ~pretty ~indent:(indent + 1) b item)
+      items;
+    nl_indent 0;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char b ',';
+        nl_indent 1;
+        Buffer.add_char b '"';
+        escape_into b k;
+        Buffer.add_string b (if pretty then "\": " else "\":");
+        print ~pretty ~indent:(indent + 1) b item)
+      fields;
+    nl_indent 0;
+    Buffer.add_char b '}'
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  print ~pretty ~indent:0 b v;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected '%c' at offset %d, found '%c'" ch c.pos x
+  | None -> parse_error "expected '%c' at offset %d, found end of input" ch c.pos
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else parse_error "bad literal at offset %d" c.pos
+
+(* Decode a \uXXXX escape (with surrogate pairs) into UTF-8 bytes. *)
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 c =
+  if c.pos + 4 > String.length c.src then
+    parse_error "truncated \\u escape at offset %d" c.pos;
+  let s = String.sub c.src c.pos 4 in
+  c.pos <- c.pos + 4;
+  try int_of_string ("0x" ^ s)
+  with _ -> parse_error "bad \\u escape '%s'" s
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents b
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> parse_error "unterminated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          let hi = hex4 c in
+          let code =
+            if hi >= 0xD800 && hi <= 0xDBFF then begin
+              (* surrogate pair *)
+              expect c '\\';
+              expect c 'u';
+              let lo = hex4 c in
+              0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00)
+            end
+            else hi
+          in
+          add_utf8 b code
+        | ch -> parse_error "bad escape '\\%c'" ch);
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek c with Some ch -> is_num_char ch | None -> false do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  let integral =
+    not (String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s)
+  in
+  if integral then
+    match Int64.of_string_opt s with
+    | Some i -> Int i
+    | None -> Float (float_of_string s)
+  else
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_error "bad number '%s' at offset %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+      in
+      Arr (items [])
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "unexpected '%c' at offset %d" ch c.pos
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Parse_error msg -> Error msg
+  | exception _ -> Error "malformed JSON"
+
+(* ---------- accessors ---------- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int_opt = function
+  | Int i ->
+    let n = Int64.to_int i in
+    if Int64.of_int n = i then Some n else None
+  | _ -> None
+
+let to_int64_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (Int64.to_float i)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_list_opt = function Arr l -> Some l | _ -> None
+
+let to_obj_opt = function Obj o -> Some o | _ -> None

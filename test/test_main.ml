@@ -16,4 +16,5 @@ let () =
       ("observability", Test_observability.suite);
       ("wax-swap", Test_wax_swap.suite);
       ("fuzz", Test_fuzz.suite);
+      ("bench", Test_bench.suite);
     ]
