@@ -354,24 +354,26 @@ let run_fault kind shape node victim at_ms cascade_node oracle link_from
 
 (* ---- fuzz command ---- *)
 
-let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug output =
+let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug jobs
+    output =
   let out_chan = Option.map open_out out in
   let emit r =
     match out_chan with
     | Some oc -> output_string oc (Faultinj.Fuzz.record_to_json r ^ "\n")
     | None -> ()
   in
-  let run_one ?trace_out ?metrics_out seed =
-    let plan = Faultinj.Fuzz.plan_of_seed seed in
-    let r =
-      Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ?trace_out ?metrics_out plan
-    in
+  (* Emission and failure post-mortems always run on the main domain, in
+     seed order; workers only compute records. With [--jobs n] the
+     output (stdout and the JSONL file) is therefore byte-identical to a
+     serial run. *)
+  let report ~traced seed r =
     emit r;
     if Faultinj.Fuzz.failed r then begin
+      let plan = Faultinj.Fuzz.plan_of_seed seed in
       Printf.printf "FAIL %s\n" (Faultinj.Fuzz.record_to_json r);
       (* Replay the failing seed with a Chrome trace for post-mortem
          (unless this run already wrote one). *)
-      if trace_out = None then begin
+      if not traced then begin
         let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
         ignore
           (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~trace_out:trace plan);
@@ -397,14 +399,23 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug output =
   let ok =
     match replay with
     | Some seed ->
-      run_one ?trace_out:output.out_trace ?metrics_out:output.out_metrics
-        seed
+      let r =
+        Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug
+          ?trace_out:output.out_trace ?metrics_out:output.out_metrics
+          (Faultinj.Fuzz.plan_of_seed seed)
+      in
+      report ~traced:(output.out_trace <> None) seed r
     | None ->
       let failures = ref 0 in
-      for i = 0 to seeds - 1 do
-        let seed = Int64.add seed_base (Int64.of_int i) in
-        if not (run_one seed) then incr failures
-      done;
+      let seed_list =
+        Array.init seeds (fun i -> Int64.add seed_base (Int64.of_int i))
+      in
+      Faultinj.Campaign.run_parallel ~jobs ~seeds:seed_list
+        ~run:(fun seed ->
+          Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug
+            (Faultinj.Fuzz.plan_of_seed seed))
+        ~on_record:(fun seed r ->
+          if not (report ~traced:false seed r) then incr failures);
       Printf.printf "fuzz: %d seed(s), %d failure(s)\n" seeds !failures;
       !failures = 0
   in
@@ -606,6 +617,15 @@ let dup_bug_arg =
            window — to prove the at-most-once checker catches duplicate \
            execution.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Shard the seed sweep across N domains (work-stealing; each \
+           worker owns a private single-threaded simulation engine). \
+           Output is byte-identical to --jobs 1 for any N.")
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -617,7 +637,7 @@ let fuzz_cmd =
           --metrics-json capture that run's artifacts.")
     Term.(
       const run_fuzz $ seeds_arg $ seed_base_arg $ replay_arg $ shrink_arg
-      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg $ output_term)
+      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg $ jobs_arg $ output_term)
 
 let main =
   Cmd.group

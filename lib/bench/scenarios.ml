@@ -285,6 +285,82 @@ let declare_workloads () =
   grid "ocean" [ (1, true); (1, false); (4, false) ] [ (4, false) ];
   grid "raytrace" [ (1, false); (4, false) ] [ (4, false) ]
 
+(* ---------- area fuzz ---------- *)
+
+(* Deterministic profile of a fixed fuzz-seed batch. Wall-clock
+   throughput belongs to the sections report (never committed); every
+   metric here is a pure function of the seeds, so the committed
+   BENCH_fuzz.json is byte-stable and the diff gate catches behavioral
+   drift in the DES hot paths — an engine change that alters verdicts,
+   fault landings or event-queue traffic trips it. The batch size rides
+   in the [ws_pages] dimension. *)
+let fuzz_seed_batch n = Array.init n (fun i -> Int64.of_int (i + 1))
+
+let fuzz_records seeds =
+  Array.to_list
+    (Array.map
+       (fun s -> Faultinj.Fuzz.run_plan (Faultinj.Fuzz.plan_of_seed s))
+       seeds)
+
+let run_fuzz_batch (dims : dims) =
+  let records = fuzz_records (fuzz_seed_batch dims.ws_pages) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+  let clean =
+    List.length (List.filter (fun r -> not (Faultinj.Fuzz.failed r)) records)
+  in
+  let sim_ns =
+    List.fold_left
+      (fun acc r -> Int64.add acc r.Faultinj.Fuzz.r_sim_ns)
+      0L records
+  in
+  [
+    metric ~dir:Higher_better "clean_seeds" (float_of_int clean);
+    metric "events_scheduled"
+      (float_of_int (sum (fun r -> r.Faultinj.Fuzz.r_events)));
+    metric ~dir:Info "faults_injected"
+      (float_of_int (sum (fun r -> List.length r.Faultinj.Fuzz.r_injected)));
+    metric ~dir:Info "sim_s_total" (Int64.to_float sim_ns /. 1e9);
+  ]
+
+(* Serial and two-domain runs of the same batch must merge to the same
+   record stream, byte for byte. *)
+let run_fuzz_parallel_merge (dims : dims) =
+  let seeds = fuzz_seed_batch dims.ws_pages in
+  let jsonl records =
+    String.concat "\n" (List.map Faultinj.Fuzz.record_to_json records)
+  in
+  let serial = jsonl (fuzz_records seeds) in
+  let out = ref [] in
+  Faultinj.Campaign.run_parallel ~jobs:2 ~seeds
+    ~run:(fun s -> Faultinj.Fuzz.run_plan (Faultinj.Fuzz.plan_of_seed s))
+    ~on_record:(fun _ r -> out := r :: !out);
+  let parallel = jsonl (List.rev !out) in
+  [
+    metric ~dir:Higher_better "merged_identical"
+      (if String.equal serial parallel then 1. else 0.);
+    metric ~dir:Info "records" (float_of_int (Array.length seeds));
+  ]
+
+let declare_fuzz () =
+  let base = { default_dims with workload = "fuzz"; cells = 4; nodes = 8 } in
+  ignore
+    (declare ~name:"fuzz_batch" ~area:"fuzz"
+       ~doc:
+         "verdict and event-traffic profile of a fixed seed batch (ws = \
+          seeds); deterministic, so the trajectory gates DES hot-path \
+          changes"
+       ~dims:
+         [ { base with ws_pages = 8 }; { base with ws_pages = 16 } ]
+       ~quick:[ { base with ws_pages = 8 } ]
+       run_fuzz_batch);
+  ignore
+    (declare ~name:"fuzz_parallel" ~area:"fuzz"
+       ~doc:
+         "serial vs two-domain merge identity of the same seed batch \
+          (must be 1)"
+       ~dims:[ { base with ws_pages = 8 } ]
+       run_fuzz_parallel_merge)
+
 (* ---------- registration ---------- *)
 
 let registered = ref false
@@ -294,5 +370,6 @@ let register () =
     registered := true;
     declare_rpc ();
     declare_sharing ();
-    declare_workloads ()
+    declare_workloads ();
+    declare_fuzz ()
   end

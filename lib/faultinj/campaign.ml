@@ -363,6 +363,78 @@ let corrupt_cow_campaign ~tests =
            }))
   |> summarize "corrupt pointer in copy-on-write tree (raytrace)"
 
+(* ---------- Parallel campaign driver ---------- *)
+
+(* Shard a seed list across OCaml 5 domains. Work-stealing: workers pull
+   the next unclaimed index from a shared cursor, so a slow seed never
+   idles the other domains. Each worker runs [run] with a private
+   simulation engine ([Sim.Engine.create] binds the engine to the
+   creating domain and rejects use from any other), and shares nothing
+   else — every cross-campaign cache in the tree is domain-local and
+   reset per boot. Results are published under a mutex and handed to
+   [on_record] from the calling domain in seed order, so the merged
+   output is byte-identical to a serial run regardless of [jobs].
+
+   The caller must ensure one-time global registration (RPC handler
+   tables) has already happened on the calling domain — booting any
+   system does it — before workers race to boot theirs. [run_parallel]
+   boots nothing itself, so it performs that warm-up via
+   [Hive.System.register_all_handlers]. *)
+let run_parallel (type r) ~jobs ~(seeds : int64 array) ~(run : int64 -> r)
+    ~(on_record : int64 -> r -> unit) =
+  let n = Array.length seeds in
+  if jobs <= 1 || n <= 1 then
+    Array.iter (fun s -> on_record s (run s)) seeds
+  else begin
+    Hive.System.register_all_handlers ();
+    let next = Atomic.make 0 in
+    let results : (r, exn) result option array = Array.make n None in
+    let m = Mutex.create () in
+    let ready = Condition.create () in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match run seeds.(i) with
+            | v -> Ok v
+            | exception e -> Error e
+          in
+          Mutex.lock m;
+          results.(i) <- Some r;
+          Condition.broadcast ready;
+          Mutex.unlock m;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    let emitted = ref 0 in
+    Mutex.lock m;
+    (try
+       while !emitted < n do
+         match results.(!emitted) with
+         | Some r ->
+           let i = !emitted in
+           results.(i) <- None;
+           incr emitted;
+           (* Emit outside the lock: [on_record] may write files or
+              replay a failing seed. *)
+           Mutex.unlock m;
+           (match r with Ok v -> on_record seeds.(i) v | Error e -> raise e);
+           Mutex.lock m
+         | None -> Condition.wait ready m
+       done;
+       Mutex.unlock m
+     with e ->
+       (* Unblock and collect the workers before re-raising. *)
+       Atomic.set next n;
+       List.iter Domain.join domains;
+       raise e);
+    List.iter Domain.join domains
+  end
+
 (* ---------- Cascading (nested) failures ---------- *)
 
 type cascade_outcome = {

@@ -81,6 +81,23 @@ val node_failure_random : tests:int -> campaign_row
 val corrupt_map_campaign : tests:int -> campaign_row
 val corrupt_cow_campaign : tests:int -> campaign_row
 
+(** [run_parallel ~jobs ~seeds ~run ~on_record] shards [seeds] across
+    [jobs] OCaml 5 domains with work stealing. Each worker executes
+    [run seed] with a private, domain-bound simulation engine; results
+    are handed to [on_record seed result] on the calling domain in seed
+    order, so the merged output is byte-identical to a serial run for
+    any [jobs]. [jobs <= 1] degenerates to a plain serial loop. A worker
+    exception is re-raised on the calling domain at the position the
+    failing seed holds in the order. [run] must not print or touch
+    shared mutable state — everything it needs must be created inside
+    the call (this is how the fuzzer's [run_plan] already behaves). *)
+val run_parallel :
+  jobs:int ->
+  seeds:int64 array ->
+  run:(int64 -> 'r) ->
+  on_record:(int64 -> 'r -> unit) ->
+  unit
+
 (** Cascading (nested) failures: a second node killed while the first
     failure's recovery round is in flight, between the two global
     barriers. Exercises the abortable-barrier / round-restart machinery

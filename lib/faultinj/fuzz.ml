@@ -30,6 +30,8 @@ type record = {
   r_violations : string list;
   r_survivors : int list;
   r_sim_ns : int64;
+  r_events : int;
+      (* events the engine scheduled: deterministic work measure *)
 }
 
 let jitter_salt = 0x94D049BB133111EBL
@@ -245,7 +247,14 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
       mem_pages_per_node = plan.mem_pages_per_node;
     }
   in
-  let sys = Hive.System.boot ~mcfg ~ncells:plan.ncells ~wax:true eng in
+  (* Planted transport bug (part 1): boot the system with the servers'
+     reply caches off, so retransmitted requests really execute twice. *)
+  let params =
+    if dup_bug then
+      { Hive.Params.default with Hive.Params.rpc_dup_suppression = false }
+    else Hive.Params.default
+  in
+  let sys = Hive.System.boot ~mcfg ~params ~ncells:plan.ncells ~wax:true eng in
   let close_trace =
     match trace_out with
     | None -> fun () -> ()
@@ -260,12 +269,11 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
     Sim.Engine.set_jitter eng
       (Some (Sim.Prng.of_int64 (Int64.logxor plan.seed jitter_salt)));
   let inject_rng = Sim.Prng.of_int64 (Int64.logxor plan.seed inject_salt) in
-  (* Planted transport bug: switch off the servers' reply caches and arm a
-     duplication-heavy machine-wide window over the whole run. Duplicated
-     requests then really execute twice, and the at-most-once checker must
-     say so. *)
+  (* Planted transport bug (part 2): arm a duplication-heavy machine-wide
+     window over the whole run. With the reply caches off (see boot
+     params), duplicated requests really execute twice, and the
+     at-most-once checker must say so. *)
   if dup_bug then begin
-    Hive.Rpc.disable_dup_suppression := true;
     Flash.Sips.degrade
       (Flash.Machine.sips sys.Hive.Types.machine)
       ~rng:(Sim.Prng.of_int64 (Int64.logxor plan.seed dup_salt))
@@ -408,7 +416,6 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
   | e -> vio "exception" (Printexc.to_string e));
   close_trace ();
   Option.iter (fun path -> Hive.Metrics.write_file sys path) metrics_out;
-  if dup_bug then Hive.Rpc.disable_dup_suppression := false;
   {
     r_seed = plan.seed;
     r_plan = describe_plan plan;
@@ -417,6 +424,7 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
     r_violations = List.rev !violations;
     r_survivors = Hive.System.live_cells sys;
     r_sim_ns = Hive.System.now eng;
+    r_events = Sim.Engine.events_scheduled eng;
   }
 
 let failed r = r.r_violations <> []
@@ -440,11 +448,11 @@ let json_strings xs =
 
 let record_to_json r =
   Printf.sprintf
-    {|{"seed":"0x%Lx","plan":"%s","injected":[%s],"completed":%b,"violations":[%s],"survivors":[%s],"sim_ns":%Ld}|}
+    {|{"seed":"0x%Lx","plan":"%s","injected":[%s],"completed":%b,"violations":[%s],"survivors":[%s],"sim_ns":%Ld,"events":%d}|}
     r.r_seed (json_escape r.r_plan) (json_strings r.r_injected) r.r_completed
     (json_strings r.r_violations)
     (String.concat "," (List.map string_of_int r.r_survivors))
-    r.r_sim_ns
+    r.r_sim_ns r.r_events
 
 (* Shrinking: greedily apply the first simplification that still fails —
    dropping a fault, disabling jitter, rounding fault times to a coarse

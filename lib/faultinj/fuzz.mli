@@ -28,6 +28,9 @@ type record = {
   r_violations : string list;  (** invariant violations, empty = pass *)
   r_survivors : int list;
   r_sim_ns : int64;  (** virtual time at end of run *)
+  r_events : int;
+      (** events the engine scheduled: a deterministic measure of how
+          much simulation work the seed did *)
 }
 
 val plan_of_seed : int64 -> plan

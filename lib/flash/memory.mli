@@ -51,6 +51,10 @@ val read_u8 : Sim.Engine.t -> t -> by:int -> Addr.t -> int
 
 val read_i64 : Sim.Engine.t -> t -> by:int -> Addr.t -> int64
 
+(* Allocation-free cached read of one kernel word (the hot kmem /
+   careful-reference path). *)
+val read_cached_i64 : Sim.Engine.t -> t -> by:int -> Addr.t -> int64
+
 (** Writes check the firewall per page and raise
     [Bus_error Firewall_denied] when permission is missing. *)
 val write : Sim.Engine.t -> t -> by:int -> Addr.t -> Bytes.t -> unit
@@ -62,6 +66,9 @@ val write_i64 : Sim.Engine.t -> t -> by:int -> Addr.t -> int64 -> unit
 (** {2 Out-of-band access (no latency, no checks) — tests and tooling} *)
 
 val peek : t -> Addr.t -> int -> Bytes.t
+
+(* Allocation-free word peek. *)
+val peek_i64 : t -> Addr.t -> int64
 
 val poke : t -> Addr.t -> Bytes.t -> unit
 

@@ -8,9 +8,9 @@
    nodes, as well as kernel deadlocks and interrupt losses. *)
 
 let clock_value (sys : Types.system) (c : Types.cell) =
-  Bytes.get_int64_le
-    (Flash.Memory.peek (Flash.Machine.memory sys.Types.machine) c.Types.clock_addr 8)
-    0
+  Flash.Memory.peek_i64
+    (Flash.Machine.memory sys.Types.machine)
+    c.Types.clock_addr
 
 (* One careful-reference read of a peer's clock word. *)
 let read_peer_clock (sys : Types.system) (reader : Types.cell) ~target =
@@ -18,14 +18,30 @@ let read_peer_clock (sys : Types.system) (reader : Types.cell) ~target =
   Careful_ref.protect sys reader ~target (fun ctx ->
       Careful_ref.read_i64 ctx target_cell.Types.clock_addr)
 
-(* The cell this one monitors: its successor in the live-set ring. *)
-let monitored_peer (c : Types.cell) =
+(* The cell this one monitors: its successor in the live-set ring. The
+   live set only changes on failure/recovery, so the tick loop caches the
+   answer keyed on the list's physical identity (the field is replaced,
+   never mutated in place). *)
+let compute_monitored_peer (c : Types.cell) =
   let live = List.sort compare c.Types.live_set in
   let higher = List.filter (fun id -> id > c.Types.cell_id) live in
   match (higher, live) with
   | h :: _, _ -> if h = c.Types.cell_id then None else Some h
   | [], l :: _ when l <> c.Types.cell_id -> Some l
   | _ -> None
+
+let peer_cache_key :
+    (int, int list * int option) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let monitored_peer (c : Types.cell) =
+    let cache = Domain.DLS.get peer_cache_key in
+    match Hashtbl.find_opt cache c.Types.cell_id with
+    | Some (live, peer) when live == c.Types.live_set -> peer
+    | _ ->
+      let peer = compute_monitored_peer c in
+      Hashtbl.replace cache c.Types.cell_id (c.Types.live_set, peer);
+      peer
 
 let hint (sys : Types.system) (c : Types.cell) suspect reason =
   match sys.Types.on_hint with

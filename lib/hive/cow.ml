@@ -35,10 +35,18 @@ exception Node_full
 
 let node_size capacity = 8 * (f_entries + capacity)
 
-let next_node_id = ref 0
+(* Domain-local and reset at [System.boot]: node ids are part of the
+   serialized tree state, so a campaign's ids must not depend on how many
+   campaigns ran earlier in this domain (parallel workers replay
+   different subsets of the seed list). *)
+let next_node_id_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_node_id_key := 0
 
 (* Allocate a fresh tree node in [cell]'s kernel memory. *)
 let alloc_node (sys : Types.system) (cell : Types.cell) ~parent ~capacity =
+  let next_node_id = Domain.DLS.get next_node_id_key in
   incr next_node_id;
   let id = !next_node_id in
   let addr =

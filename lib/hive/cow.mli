@@ -24,7 +24,8 @@ val f_capacity : int
 val f_entries : int
 exception Node_full
 val node_size : int -> int
-val next_node_id : int ref
+(* Reset the domain-local node-id generator (called by [System.boot]). *)
+val reset_ids : unit -> unit
 val alloc_node :
   Types.system ->
   Types.cell ->

@@ -172,11 +172,12 @@ let page_in (sys : Types.system) (home : Types.cell) (f : Types.file) page =
       Pfdat.insert home lid pf;
       Hashtbl.replace f.Types.cached_pages page pf;
       Types.bump home "fs.page_ins";
-      Sim.Event.instant sys.Types.events ~cell:home.Types.cell_id
-        ~args:
-          [ ("pfn", Sim.Event.Int pf.Types.pfn);
-            ("page", Sim.Event.Int page) ]
-        ~cat:Sim.Event.Page "fs.page_in";
+      if Sim.Event.enabled sys.Types.events then
+        Sim.Event.instant sys.Types.events ~cell:home.Types.cell_id
+          ~args:
+            [ ("pfn", Sim.Event.Int pf.Types.pfn);
+              ("page", Sim.Event.Int page) ]
+          ~cat:Sim.Event.Page "fs.page_in";
       pf
 
 (* Copy a cached page into the stable-content buffer (no disk timing). *)
@@ -420,9 +421,12 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
 let read (sys : Types.system) (c : Types.cell) vnode ~opened_gen ~pos ~len =
   check_gen sys c vnode opened_gen;
   let psize = page_size sys in
-  let out = Buffer.create (min len 65536) in
+  (* The loop always produces exactly [len] bytes (reads past EOF return
+     zeros from the page cache), so write straight into the user buffer
+     rather than growing a Buffer.t chunk by chunk. *)
+  let out = Bytes.create len in
   let rec loop pos remaining =
-    if remaining <= 0 then Ok (Buffer.to_bytes out)
+    if remaining <= 0 then Ok out
     else begin
       let page = pos / psize in
       let off = pos mod psize in
@@ -437,7 +441,7 @@ let read (sys : Types.system) (c : Types.cell) vnode ~opened_gen ~pos ~len =
         in
         (* Copy-out to the user buffer. *)
         Sim.Engine.delay (Flash.Config.copy_cost sys.Types.mcfg chunk);
-        Buffer.add_bytes out data;
+        Bytes.blit data 0 out (len - remaining) chunk;
         loop (pos + chunk) (remaining - chunk)
     end
   in

@@ -13,17 +13,20 @@ let close (sys : Types.system) (c : Types.cell) =
   if c.Types.user_gate_open then gate_event sys c "gate.close";
   c.Types.user_gate_open <- false
 
+(* Waiters are kept newest-first (O(1) prepend in [pass], which runs on
+   every syscall while the gate is closed) and reversed here so wake
+   order stays arrival order. *)
 let open_ (sys : Types.system) (c : Types.cell) =
   if not c.Types.user_gate_open then gate_event sys c "gate.open";
   c.Types.user_gate_open <- true;
-  let ws = c.Types.gate_waiters in
+  let ws = List.rev c.Types.gate_waiters in
   c.Types.gate_waiters <- [];
   List.iter (fun t -> ignore (Sim.Engine.try_resume sys.Types.eng t)) ws
 
 let pass (c : Types.cell) =
   while not c.Types.user_gate_open do
     Sim.Engine.suspend ~site:"gate.pass" (fun thr ->
-        c.Types.gate_waiters <- c.Types.gate_waiters @ [ thr ])
+        c.Types.gate_waiters <- thr :: c.Types.gate_waiters)
   done
 
 let is_open (c : Types.cell) = c.Types.user_gate_open

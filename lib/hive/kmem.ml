@@ -50,11 +50,8 @@ let free (sys : Types.system) (c : Types.cell) ~addr ~size =
 (* The owner's own kernel structures are hot in its caches: charge L2
    hits, not memory misses. *)
 let read_field (sys : Types.system) (c : Types.cell) ~addr ~index =
-  Bytes.get_int64_le
-    (Flash.Memory.read_cached sys.eng (mem sys) ~by:(proc_of c)
-       (addr + header_bytes + (8 * index))
-       8)
-    0
+  Flash.Memory.read_cached_i64 sys.eng (mem sys) ~by:(proc_of c)
+    (addr + header_bytes + (8 * index))
 
 (* Read [count] consecutive fields as one block (per-line latency). *)
 let read_fields (sys : Types.system) (c : Types.cell) ~addr ~index ~count =
@@ -71,6 +68,4 @@ let write_field (sys : Types.system) (c : Types.cell) ~addr ~index v =
     v
 
 let read_tag (sys : Types.system) (c : Types.cell) ~addr =
-  Bytes.get_int64_le
-    (Flash.Memory.read_cached sys.eng (mem sys) ~by:(proc_of c) addr 8)
-    0
+  Flash.Memory.read_cached_i64 sys.eng (mem sys) ~by:(proc_of c) addr

@@ -21,6 +21,12 @@ type t = {
   rpc_max_retries : int;
   rpc_backoff_base_ns : int64;
   rpc_backoff_cap_ns : int64;
+  rpc_dup_suppression : bool;
+      (* servers drop retransmits of already-executed calls (false only in
+         fault-injection runs that model the historical transport bug) *)
+  rpc_epoch_check : bool;
+      (* clients drop replies stamped with a previous incarnation (false
+         only in runs proving the epoch invariant checker has teeth) *)
   (* Careful reference protocol *)
   careful_on_ns : int64;
   careful_off_ns : int64;
@@ -93,6 +99,8 @@ let default =
     rpc_max_retries = 3;
     rpc_backoff_base_ns = 20_000_000L;
     rpc_backoff_cap_ns = 160_000_000L;
+    rpc_dup_suppression = true;
+    rpc_epoch_check = true;
     careful_on_ns = 260L;
     careful_off_ns = 200L;
     careful_check_ns = 60L;

@@ -15,6 +15,8 @@ type t = {
   rpc_max_retries : int;
   rpc_backoff_base_ns : int64;
   rpc_backoff_cap_ns : int64;
+  rpc_dup_suppression : bool;
+  rpc_epoch_check : bool;
   careful_on_ns : int64;
   careful_off_ns : int64;
   careful_check_ns : int64;

@@ -44,14 +44,12 @@ type Flash.Sips.message +=
       outcome : Types.rpc_outcome;
     }
 
-(* Testing knobs: re-create the bugs the at-most-once machinery fixes, so
-   the fuzzer's checkers can demonstrate they would catch a regression.
-   [disable_dup_suppression] makes servers re-execute retransmitted
-   requests; [disable_epoch_check] makes clients accept stale-epoch
-   replies (recording the acceptance for the invariant checker). *)
-let disable_dup_suppression = ref false
-
-let disable_epoch_check = ref false
+(* The bugs the at-most-once machinery fixes can be deliberately
+   re-created per system — boot with [Params.rpc_dup_suppression] or
+   [Params.rpc_epoch_check] off — so the fuzzer's checkers can
+   demonstrate they would catch a regression. Keeping the knobs in the
+   system's params (not global refs) means concurrent campaigns on other
+   domains are unaffected. *)
 
 (* Typed operation descriptors. Every RPC op is declared once, up front,
    with its wire-size defaults and timeout; [register] and [call] take the
@@ -209,9 +207,12 @@ let service_request (sys : Types.system) (server : Types.cell) env =
      fun f ->
       let t0 = Sim.Engine.now sys.Types.eng in
       let result =
-        Sim.Event.span sys.Types.events ~cell:server.Types.cell_id
-          ~args:[ ("src", Sim.Event.Int src_cell) ]
-          ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op) f
+        (* Skip the span-name concat and args list when untraced. *)
+        if Sim.Event.enabled sys.Types.events then
+          Sim.Event.span sys.Types.events ~cell:server.Types.cell_id
+            ~args:[ ("src", Sim.Event.Int src_cell) ]
+            ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op) f
+        else f ()
       in
       Sim.Stats.hist_add
         (Types.hist_for sys.Types.rpc_server_ns op)
@@ -227,7 +228,7 @@ let service_request (sys : Types.system) (server : Types.cell) env =
     else begin
       let cached =
         match session with
-        | Some s when not !disable_dup_suppression ->
+        | Some s when sys.Types.params.Params.rpc_dup_suppression ->
           Hashtbl.find_opt s.Types.rs_replies call_id
         | _ -> None
       in
@@ -281,10 +282,12 @@ let service_request (sys : Types.system) (server : Types.cell) env =
                as an instant (it never blocks, unlike queued spans). *)
             let dt = Int64.sub (Sim.Engine.now sys.Types.eng) t0 in
             Sim.Stats.hist_add (Types.hist_for sys.Types.rpc_server_ns op) dt;
-            Sim.Event.instant sys.Types.events ~cell:server.Types.cell_id
-              ~args:
-                [ ("src", Sim.Event.Int src_cell); ("dur_ns", Sim.Event.I64 dt) ]
-              ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op);
+            if Sim.Event.enabled sys.Types.events then
+              Sim.Event.instant sys.Types.events ~cell:server.Types.cell_id
+                ~args:
+                  [ ("src", Sim.Event.Int src_cell); ("dur_ns", Sim.Event.I64 dt)
+                  ]
+                ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op);
             complete outcome
           | Types.Queued f ->
             (* Longer-latency request: hand off to the server process pool;
@@ -310,7 +313,10 @@ let service_request (sys : Types.system) (server : Types.cell) env =
 let service_reply (sys : Types.system) (client : Types.cell) env =
   match env.Flash.Sips.msg with
   | M_reply { call_id; dst_epoch; outcome } ->
-    if dst_epoch <> client.Types.incarnation && not !disable_epoch_check then
+    if
+      dst_epoch <> client.Types.incarnation
+      && sys.Types.params.Params.rpc_epoch_check
+    then
       Types.bump client "rpc.stale_reply_drops"
     else begin
       if dst_epoch <> client.Types.incarnation then
@@ -424,11 +430,17 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
       (Int64.sub (Sim.Engine.now eng) t0);
     outcome
   in
-  Sim.Event.span sys.Types.events ~cell:from.Types.cell_id
-    ~args:[ ("target", Sim.Event.Int target) ]
-    ~cat:Sim.Event.Rpc
-    ("rpc.call:" ^ op_name)
-  @@ fun () ->
+  let traced body =
+    (* Build the span name and args only when a sink will see them. *)
+    if Sim.Event.enabled sys.Types.events then
+      Sim.Event.span sys.Types.events ~cell:from.Types.cell_id
+        ~args:[ ("target", Sim.Event.Int target) ]
+        ~cat:Sim.Event.Rpc
+        ("rpc.call:" ^ op_name)
+        body
+    else body ()
+  in
+  traced @@ fun () ->
   if not (List.mem target from.Types.live_set) then
     finish (Error Types.EHOSTDOWN)
   else begin

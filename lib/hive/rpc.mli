@@ -59,14 +59,6 @@ type Flash.Sips.message +=
       outcome : Types.rpc_outcome;
     }
 
-(** Testing knobs: deliberately re-create the bugs the at-most-once
-    machinery fixes (duplicate execution of retransmits / acceptance of
-    stale-epoch replies), so the invariant checkers can be shown to catch
-    them. Reset to [false] after use. *)
-val disable_dup_suppression : bool ref
-
-val disable_epoch_check : bool ref
-
 type handler =
     Types.system ->
     Types.cell ->

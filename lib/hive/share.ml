@@ -40,10 +40,11 @@ let release_batch_op = Rpc.Op.declare ~reply_bytes:16 "share.release_batch"
 let invalidate_op = Rpc.Op.declare ~idempotent:true "share.invalidate"
 
 let page_event sys (c : Types.cell) name (pf : Types.pfdat) ~peer =
-  Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
-    ~args:
-      [ ("pfn", Sim.Event.Int pf.Types.pfn); ("peer", Sim.Event.Int peer) ]
-    ~cat:Sim.Event.Page name
+  if Sim.Event.enabled sys.Types.events then
+    Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
+      ~args:
+        [ ("pfn", Sim.Event.Int pf.Types.pfn); ("peer", Sim.Event.Int peer) ]
+      ~cat:Sim.Event.Page name
 
 (* Data-home side: a client released its binding. Write permission was
    granted "as long as any process on that cell has the page mapped"
@@ -154,9 +155,10 @@ let import (sys : Types.system) (client : Types.cell) ~pfn ~data_home ~lid
     note_writable client pf ~writable;
     pf
   | None ->
-    Sim.Event.instant sys.Types.events ~cell:client.Types.cell_id
-      ~args:[ ("pfn", Sim.Event.Int pfn); ("peer", Sim.Event.Int data_home) ]
-      ~cat:Sim.Event.Page "page.import";
+    if Sim.Event.enabled sys.Types.events then
+      Sim.Event.instant sys.Types.events ~cell:client.Types.cell_id
+        ~args:[ ("pfn", Sim.Event.Int pfn); ("peer", Sim.Event.Int data_home) ]
+        ~cat:Sim.Event.Page "page.import";
     let pf =
       match Hashtbl.find_opt client.Types.frames pfn with
       | Some existing when existing.Types.loaned_to <> None ->
@@ -227,23 +229,31 @@ let park (sys : Types.system) (client : Types.cell) (pf : Types.pfdat) =
   client.Types.import_cache <- pf :: client.Types.import_cache;
   Types.bump client "share.cache_insertions";
   let cap = sys.Types.params.Params.import_cache_pages in
-  let rec split n = function
-    | [] -> ([], [])
-    | l when n <= 0 -> ([], l)
-    | x :: tl ->
-      let keep, drop = split (n - 1) tl in
-      (x :: keep, drop)
+  (* Parks happen one page at a time, so the cache is almost never over
+     capacity: probe allocation-free for an overflow before paying for a
+     list rebuild. *)
+  let rec nth_tail n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: tl -> nth_tail (n - 1) tl
   in
-  let keep, drop = split cap client.Types.import_cache in
-  client.Types.import_cache <- keep;
-  List.iter
-    (fun (q : Types.pfdat) ->
-      q.Types.cached <- false;
-      Types.bump client "share.cache_evictions";
-      match (q.Types.imported_from, q.Types.lid) with
-      | Some home, Some lid -> ignore (release_now sys client q ~home ~lid)
-      | _ -> Pfdat.free_extended client q)
-    drop
+  if nth_tail cap client.Types.import_cache <> [] then begin
+    let rec split n = function
+      | [] -> ([], [])
+      | l when n <= 0 -> ([], l)
+      | x :: tl ->
+        let keep, drop = split (n - 1) tl in
+        (x :: keep, drop)
+    in
+    let keep, drop = split cap client.Types.import_cache in
+    client.Types.import_cache <- keep;
+    List.iter
+      (fun (q : Types.pfdat) ->
+        q.Types.cached <- false;
+        Types.bump client "share.cache_evictions";
+        match (q.Types.imported_from, q.Types.lid) with
+        | Some home, Some lid -> ignore (release_now sys client q ~home ~lid)
+        | _ -> Pfdat.free_extended client q)
+      drop
+  end
 
 (* Client side: drop an imported page binding. Parks it when cacheable;
    otherwise frees it and notifies the data home. Never raises — a lost

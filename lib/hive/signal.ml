@@ -32,9 +32,17 @@ type pstate = {
   mutable pgid : int;
 }
 
-let table : (Types.pid, pstate) Hashtbl.t = Hashtbl.create 64
+(* Domain-local (parallel fuzz workers share nothing) and reset on every
+   [System.boot]: pids restart from 1 per system, so without the reset a
+   later campaign in the same process would inherit pgids and handlers
+   from identically-numbered processes of an earlier one. *)
+let table_key : (Types.pid, pstate) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let reset () = Hashtbl.reset (Domain.DLS.get table_key)
 
 let state_of (p : Types.process) =
+  let table = Domain.DLS.get table_key in
   match Hashtbl.find_opt table p.Types.pid with
   | Some st -> st
   | None ->

@@ -20,7 +20,11 @@ type pstate = {
   mutable pending : signal list;
   mutable pgid : int;
 }
-val table : (Types.pid, pstate) Hashtbl.t
+(* Clear the domain-local per-pid signal state; called by [System.boot]
+   so campaigns never inherit pgids or handlers from identically
+   numbered pids of an earlier system on this domain. *)
+val reset : unit -> unit
+
 val state_of : Types.process -> pstate
 val handle :
   Types.process -> signal -> (Types.process -> unit) -> unit

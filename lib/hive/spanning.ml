@@ -23,11 +23,18 @@ type t = {
   mutable next_thread : int;
 }
 
-let next_task_id = ref 0
+(* Domain-local and reset at [System.boot]: task ids name the backing
+   /shm objects, so they must be a function of the campaign alone, not of
+   how many campaigns this domain ran before it. *)
+let next_task_id_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let reset_ids () = Domain.DLS.get next_task_id_key := 0
 
 (* Create a spanning task with a shared writable segment of
    [shared_pages], homed on the creating process's cell. *)
 let create (sys : Types.system) (creator : Types.process) ~shared_pages =
+  let next_task_id = Domain.DLS.get next_task_id_key in
   incr next_task_id;
   let id = !next_task_id in
   let c = sys.Types.cells.(creator.Types.proc_cell) in

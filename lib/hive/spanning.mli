@@ -22,7 +22,8 @@ type t = {
   mutable components : Types.process list;
   mutable next_thread : int;
 }
-val next_task_id : int ref
+(* Reset the domain-local task-id generator (called by [System.boot]). *)
+val reset_ids : unit -> unit
 val create : Types.system -> Types.process -> shared_pages:int -> t
 val shared_base : int
 val map_shared : Types.system -> t -> Types.process -> unit

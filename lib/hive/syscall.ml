@@ -23,8 +23,12 @@ let enter (sys : Types.system) (p : Types.process) name f =
   let c = cell_of sys p in
   Gate.pass c;
   Types.bump c ("syscall." ^ name);
-  Sim.Event.span sys.Types.events ~cell:c.Types.cell_id ~cat:Sim.Event.Syscall
-    ("sys." ^ name) (fun () -> f c)
+  (* Only build the span name (a fresh string per call) when a trace sink
+     is attached; this is on the path of every syscall in the system. *)
+  if Sim.Event.enabled sys.Types.events then
+    Sim.Event.span sys.Types.events ~cell:c.Types.cell_id ~cat:Sim.Event.Syscall
+      ("sys." ^ name) (fun () -> f c)
+  else f c
 
 (* ---------- Files ---------- *)
 

@@ -85,6 +85,12 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
   if mcfg.Flash.Config.nodes mod ncells <> 0 then
     invalid_arg "Hive.boot: cells must divide nodes evenly";
   register_all_handlers ();
+  (* Reset the domain-local id generators and per-pid signal state so a
+     campaign's behavior is a function of its plan alone, not of what ran
+     earlier on this domain. *)
+  Signal.reset ();
+  Cow.reset_ids ();
+  Spanning.reset_ids ();
   let machine = Flash.Machine.create eng mcfg in
   let nodes_per_cell = mcfg.Flash.Config.nodes / ncells in
   let cells =
@@ -133,12 +139,13 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
      mass revocation of recovery, which bypasses the wild-write module). *)
   Flash.Firewall.set_notify (Flash.Machine.firewall machine)
     (fun ~pfn ~old_vec ~new_vec ->
-      Sim.Event.instant sys.Types.events
-        ~args:
-          [ ("pfn", Sim.Event.Int pfn);
-            ("old_vec", Sim.Event.I64 old_vec);
-            ("new_vec", Sim.Event.I64 new_vec) ]
-        ~cat:Sim.Event.Firewall "firewall.bits_changed");
+      if Sim.Event.enabled sys.Types.events then
+        Sim.Event.instant sys.Types.events
+          ~args:
+            [ ("pfn", Sim.Event.Int pfn);
+              ("old_vec", Sim.Event.I64 old_vec);
+              ("new_vec", Sim.Event.I64 new_vec) ]
+          ~cat:Sim.Event.Firewall "firewall.bits_changed");
   Failure.install sys;
   sys.Types.reintegrate_fn <- Some (fun id -> reintegrate sys id);
   (* A kernel thread dying with an uncaught exception panics its own cell;
@@ -283,8 +290,29 @@ let run_until (sys : Types.system) ?(step = 1_000_000L) ~deadline pred =
     if pred () then true
     else if Int64.compare (Sim.Engine.now eng) deadline >= 0 then pred ()
     else begin
-      Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) step) eng;
-      go ()
+      let now = Sim.Engine.now eng in
+      match Sim.Engine.next_event_time eng with
+      | None ->
+        (* Empty queue: no event can ever change the state [pred]
+           observes, so further polling cannot succeed. *)
+        pred ()
+      | Some t ->
+        (* [pred] only changes when events run, so jump straight to the
+           step boundary covering the next event instead of re-checking
+           every idle [step] of virtual time. The boundary grid
+           (now + k*step) and the observation points are exactly those
+           of single-stepping. *)
+        let target =
+          if Int64.compare t deadline > 0 then deadline
+          else begin
+            let dt = Int64.sub t now in
+            let k = Int64.div (Int64.add dt (Int64.sub step 1L)) step in
+            let u = Int64.add now (Int64.mul (max 1L k) step) in
+            if Int64.compare u deadline > 0 then deadline else u
+          end
+        in
+        Sim.Engine.run ~until:target eng;
+        go ()
     end
   in
   go ()

@@ -31,12 +31,13 @@ let apply_local (sys : Types.system) (c : Types.cell) ~pfn ~target_cell ~grant =
        to ensure all valid writes have been delivered to memory. *)
     Sim.Engine.delay sys.Types.mcfg.Flash.Config.mem_ns;
   Types.bump c "firewall.changes";
-  Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
-    ~args:
-      [ ("pfn", Sim.Event.Int pfn);
-        ("target_cell", Sim.Event.Int target_cell) ]
-    ~cat:Sim.Event.Firewall
-    (if grant then "firewall.grant" else "firewall.revoke")
+  if Sim.Event.enabled sys.Types.events then
+    Sim.Event.instant sys.Types.events ~cell:c.Types.cell_id
+      ~args:
+        [ ("pfn", Sim.Event.Int pfn);
+          ("target_cell", Sim.Event.Int target_cell) ]
+      ~cat:Sim.Event.Firewall
+      (if grant then "firewall.grant" else "firewall.revoke")
 
 let registered = ref false
 

@@ -2,11 +2,20 @@ exception Killed
 
 exception Deadlock of string
 
-type event = { mutable cancelled : bool; act : unit -> unit }
+(* [retired] is set once the entry can never run again — popped by the
+   run loop or removed by heap compaction — so a late [cancel] on a
+   dead timer handle does not skew the engine's cancelled-entry count.
+   Events carry a back-pointer to their engine so [cancel] (whose public
+   type is [timer -> unit]) can keep that count exact and trigger lazy
+   heap compaction. *)
+type event = {
+  mutable cancelled : bool;
+  mutable retired : bool;
+  act : unit -> unit;
+  eng : t;
+}
 
-type timer = event
-
-type thread = {
+and thread = {
   tid : int;
   name : string;
   mutable dead : bool;
@@ -16,7 +25,7 @@ type thread = {
   mutable site : string;
 }
 
-type t = {
+and t = {
   mutable now : int64;
   events : event Heap.t;
   mutable seq : int;
@@ -26,7 +35,12 @@ type t = {
   mutable crash_handler : thread -> exn -> unit;
   threads : (int, thread) Hashtbl.t;
   mutable jitter : Prng.t option;
+  mutable cancelled_pending : int;
+      (* cancelled, unpopped entries still sitting in the event heap *)
+  owner : int; (* id of the domain that created the engine *)
 }
+
+type timer = event
 
 type _ Effect.t +=
   | E_now : int64 Effect.t
@@ -44,7 +58,9 @@ let create () =
       live = 0;
       crash_handler = (fun _ _ -> ());
       threads = Hashtbl.create 64;
-      jitter = None }
+      jitter = None;
+      cancelled_pending = 0;
+      owner = (Domain.self () :> int) }
   in
   eng.crash_handler <-
     (fun thr e ->
@@ -65,6 +81,20 @@ let current_tid eng =
 
 let set_crash_handler eng f = eng.crash_handler <- f
 
+(* An engine is single-threaded by construction: it may only be driven by
+   the domain that created it. Parallel fuzzing relies on this — each
+   worker domain owns a private engine and never shares it. *)
+let assert_owner eng op =
+  let d = (Domain.self () :> int) in
+  if d <> eng.owner then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.%s: engine owned by domain %d used from domain %d (engines \
+          are single-threaded; create one per domain)"
+         op eng.owner d)
+
+let owner_domain eng = eng.owner
+
 let set_jitter eng prng = eng.jitter <- prng
 
 (* With jitter enabled, perturb the low bits of the tie-break sequence
@@ -73,6 +103,7 @@ let set_jitter eng prng = eng.jitter <- prng
    times are never reordered, so causality is preserved; only the
    interleaving of logically-concurrent events varies across seeds. *)
 let schedule_at eng time act =
+  assert_owner eng "schedule_at";
   let time = if Int64.compare time eng.now < 0 then eng.now else time in
   eng.seq <- eng.seq + 1;
   let seq =
@@ -80,7 +111,7 @@ let schedule_at eng time act =
     | None -> eng.seq
     | Some p -> eng.seq lxor Prng.int p 8
   in
-  let e = { cancelled = false; act } in
+  let e = { cancelled = false; retired = false; act; eng } in
   Heap.push eng.events ~time ~seq e;
   e
 
@@ -89,7 +120,31 @@ let schedule eng ~after act =
 
 let timer eng ~after act = schedule_at eng (Int64.add eng.now after) act
 
-let cancel tm = tm.cancelled <- true
+(* When cancelled entries dominate the heap, sweep them out in one O(n)
+   pass instead of letting them drain through [pop] at their (possibly
+   far-future) deadlines. The threshold keeps the amortized cost O(1) per
+   cancel while bounding the heap at ~2x its live size. *)
+let maybe_compact eng =
+  if
+    eng.cancelled_pending > 32
+    && eng.cancelled_pending * 2 > Heap.length eng.events
+  then begin
+    Heap.filter eng.events (fun e ->
+        if e.cancelled then begin
+          e.retired <- true;
+          false
+        end
+        else true);
+    eng.cancelled_pending <- 0
+  end
+
+let cancel tm =
+  if not tm.cancelled && not tm.retired then begin
+    tm.cancelled <- true;
+    let eng = tm.eng in
+    eng.cancelled_pending <- eng.cancelled_pending + 1;
+    maybe_compact eng
+  end
 
 (* Resume a suspended thread by scheduling its parked continuation as an
    event at the current time. Returns false if the thread holds no
@@ -158,7 +213,28 @@ let exec eng thr body =
                 if thr.dead then discontinue k Killed
                 else begin
                   thr.cont <- Some k;
-                  wake_after eng thr d
+                  (* Fast path: the wakeup timer continues the thread
+                     directly instead of bouncing through a second
+                     resume event, halving event-queue traffic on the
+                     delay/compute path (the hottest in the simulator).
+                     If a competing waker (kill, mailbox send) claims
+                     the continuation first, it also cancels this
+                     timer, so the direct continue can never race: a
+                     fired timer finding [cont = Some] owns it. *)
+                  let tm =
+                    timer eng ~after:d (fun () ->
+                        match thr.cont with
+                        | None -> ()
+                        | Some k ->
+                          thr.cont <- None;
+                          thr.timers <- [];
+                          let prev = eng.current in
+                          eng.current <- Some thr;
+                          (if thr.dead then discontinue k Killed
+                           else continue k ());
+                          eng.current <- prev)
+                  in
+                  thr.timers <- tm :: thr.timers
                 end)
           | E_suspend register ->
             Some
@@ -222,12 +298,15 @@ let at_exit_thread f =
   thr.on_exit <- f :: thr.on_exit
 
 let run ?until eng =
+  assert_owner eng "run";
   let continue_run () =
     match Heap.peek eng.events with
     | None -> false
     | Some e ->
       if e.Heap.payload.cancelled then begin
         ignore (Heap.pop eng.events);
+        e.Heap.payload.retired <- true;
+        eng.cancelled_pending <- eng.cancelled_pending - 1;
         true
       end
       else begin
@@ -237,6 +316,7 @@ let run ?until eng =
           false
         | _ ->
           ignore (Heap.pop eng.events);
+          e.Heap.payload.retired <- true;
           eng.now <- e.Heap.time;
           e.Heap.payload.act ();
           true
@@ -251,6 +331,21 @@ let run_until_quiescent eng = run eng
 let live_threads eng = eng.live
 
 let pending_events eng = Heap.length eng.events
+
+(* Virtual time of the earliest pending event (cancelled entries
+   included — they still bound how far the clock can silently advance). *)
+let next_event_time eng =
+  match Heap.peek eng.events with
+  | None -> None
+  | Some e -> Some e.Heap.time
+
+let queue_capacity eng = Heap.capacity eng.events
+
+(* Total events ever scheduled; a deterministic measure of how much work
+   a simulation did (wall-clock-free, so benches can gate on it). *)
+let events_scheduled eng = eng.seq
+
+let cancelled_pending eng = eng.cancelled_pending
 
 (* Live threads sorted by tid; when the event queue has drained these are
    exactly the threads parked on a suspend with no waker left. *)

@@ -8,7 +8,13 @@
 
     Threads block with {!delay} or {!suspend}; synchronization primitives
     ({!Ivar}, {!Mailbox}, {!Mutex}, ...) are built on {!suspend} and
-    {!try_resume}. *)
+    {!try_resume}.
+
+    An engine is single-threaded by construction: it may only be driven by
+    the OCaml domain that created it. {!run} and event scheduling raise
+    [Invalid_argument] when called from any other domain. Parallel fuzz
+    campaigns exploit this by giving each worker domain a private engine
+    and sharing nothing between them. *)
 
 (** Raised inside a thread when it is {!kill}ed, so that [Fun.protect]-style
     cleanup runs. *)
@@ -65,6 +71,11 @@ val schedule : t -> after:int64 -> (unit -> unit) -> unit
 (** Schedule a cancellable callback. *)
 val timer : t -> after:int64 -> (unit -> unit) -> timer
 
+(** Cancel a timer. Idempotent; a no-op on timers that already fired.
+    Cancelled entries are reclaimed lazily: when they outnumber the live
+    entries (beyond a small floor) the heap is compacted in one O(n)
+    pass, so mass cancellation (thread kills, recovery aborts) cannot
+    bloat the event queue until the dead deadlines drain. *)
 val cancel : timer -> unit
 
 (** Wake a suspended thread; [true] if this call captured its continuation,
@@ -118,6 +129,28 @@ val run_until_quiescent : t -> unit
 val live_threads : t -> int
 
 val pending_events : t -> int
+
+(** Virtual time of the earliest pending event, if any. Drivers use it to
+    skip idle stretches of virtual time in one jump: between events no
+    simulation state can change, so there is nothing to poll. *)
+val next_event_time : t -> int64 option
+
+(** Slots in the event-heap backing array; tests use it to assert that
+    compaction and post-campaign shrinking actually release memory. *)
+val queue_capacity : t -> int
+
+(** Total events ever scheduled on this engine — a deterministic,
+    wall-clock-free measure of simulation work (benches report
+    events/s from it). *)
+val events_scheduled : t -> int
+
+(** Cancelled entries still occupying heap slots (drops to 0 after a
+    compaction sweep or once they drain through the run loop). *)
+val cancelled_pending : t -> int
+
+(** Id of the domain that created this engine (the only domain allowed to
+    drive it). *)
+val owner_domain : t -> int
 
 (** Live (not yet finished) threads, sorted by tid. After {!run} returns
     with an empty queue these are exactly the blocked threads. *)

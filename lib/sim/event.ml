@@ -221,28 +221,15 @@ let jsonl_sink oc =
 
 (* ---------- Chrome trace_event sink: a JSON array ---------- *)
 
+(* Write Chrome trace_event objects to [oc] as one JSON array. Returns
+   the sink and a terminator function that closes the array (without
+   closing [oc], which the caller owns). [flush] only flushes the
+   channel — it must NOT emit the `]` and reopen a fresh `[`, which
+   used to leave a flushed-then-continued trace as two concatenated
+   JSON arrays that Perfetto rejects; only the terminator writes `]`.
+   Chrome's parser tolerates a missing terminator, so a crashed run's
+   partial trace still loads. *)
 let chrome_sink oc =
-  let first = ref true in
-  output_string oc "[\n";
-  {
-    emit =
-      (fun e ->
-        if !first then first := false else output_string oc ",\n";
-        output_string oc (event_to_json e));
-    flush =
-      (fun () ->
-        (* Chrome's parser accepts an unclosed array, so flushing
-           mid-stream (before more events) is safe; the final flush wins. *)
-        output_string oc "\n]\n";
-        first := true;
-        output_string oc "[\n";
-        Stdlib.flush oc);
-  }
-
-(* Open a Chrome trace file; returns the sink and a close function that
-   terminates the JSON array. Prefer this over raw [chrome_sink]. *)
-let chrome_file path =
-  let oc = open_out path in
   let first = ref true in
   output_string oc "[\n";
   let sink =
@@ -254,8 +241,19 @@ let chrome_file path =
       flush = (fun () -> Stdlib.flush oc);
     }
   in
-  let close () =
+  let terminate () =
     output_string oc "\n]\n";
+    Stdlib.flush oc
+  in
+  (sink, terminate)
+
+(* Open a Chrome trace file; returns the sink and a close function that
+   terminates the JSON array and closes the file. *)
+let chrome_file path =
+  let oc = open_out path in
+  let sink, terminate = chrome_sink oc in
+  let close () =
+    terminate ();
     close_out oc
   in
   (sink, close)

@@ -6,6 +6,8 @@ let create () = { data = [||]; size = 0 }
 
 let length h = h.size
 
+let capacity h = Array.length h.data
+
 let is_empty h = h.size = 0
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
@@ -19,25 +21,58 @@ let grow h =
     h.data <- nd
   end
 
+(* Drop the backing array down to a small multiple of the live size so a
+   long-lived engine does not pin the peak of its largest campaign. Only
+   worth doing when the array is mostly slack; keeps at least 16 slots. *)
+let shrink h =
+  let cap = Array.length h.data in
+  if cap > 64 && h.size * 4 < cap then begin
+    let ncap = max 16 (2 * h.size) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+(* 4-ary layout: children of [i] are [4i+1 .. 4i+4]. Half the depth of a
+   binary heap, and the four children share cache lines, which matters on
+   the pop path (the hottest loop in the engine). Pop order is a pure
+   function of the [(time, seq)] total order, so arity is invisible to
+   clients. *)
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 4 in
+    if before h.data.(i) h.data.(p) then begin
+      swap h i p;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let first = (4 * i) + 1 in
+  if first < h.size then begin
+    let last = min (first + 3) (h.size - 1) in
+    let m = ref i in
+    for c = first to last do
+      if before h.data.(c) h.data.(!m) then m := c
+    done;
+    if !m <> i then begin
+      swap h i !m;
+      sift_down h !m
+    end
+  end
+
 let push h ~time ~seq payload =
   let e = { time; seq; payload } in
   if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
   grow h;
   h.data.(h.size) <- e;
   h.size <- h.size + 1;
-  (* Sift the new entry up to restore the heap invariant. *)
-  let rec up i =
-    if i > 0 then begin
-      let p = (i - 1) / 2 in
-      if before h.data.(i) h.data.(p) then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(p);
-        h.data.(p) <- tmp;
-        up p
-      end
-    end
-  in
-  up (h.size - 1)
+  sift_up h (h.size - 1)
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
 
@@ -48,18 +83,30 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
-      let rec down i =
-        let l = (2 * i) + 1 and r = (2 * i) + 2 in
-        let m = if l < h.size && before h.data.(l) h.data.(i) then l else i in
-        let m = if r < h.size && before h.data.(r) h.data.(m) then r else m in
-        if m <> i then begin
-          let tmp = h.data.(i) in
-          h.data.(i) <- h.data.(m);
-          h.data.(m) <- tmp;
-          down m
-        end
-      in
-      down 0
+      sift_down h 0
     end;
+    shrink h;
     Some top
   end
+
+(* Keep only the entries whose payload satisfies [keep] (called exactly
+   once per entry, so it may carry side effects such as marking the
+   dropped entries dead), then rebuild the heap invariant bottom-up:
+   O(n), versus O(n log n) for popping the survivors one by one. Pop
+   order is unaffected — the heap pops strictly by [(time, seq)]
+   and seq values are unique. *)
+let filter h keep =
+  let k = ref 0 in
+  for i = 0 to h.size - 1 do
+    let e = h.data.(i) in
+    if keep e.payload then begin
+      h.data.(!k) <- e;
+      incr k
+    end
+  done;
+  h.size <- !k;
+  (* Heapify bottom-up from the last internal node. *)
+  for i = (h.size - 2) / 4 downto 0 do
+    sift_down h i
+  done;
+  shrink h

@@ -1,6 +1,7 @@
-(** Binary min-heap keyed by [(time, seq)], used as the simulation event
-    queue. Ties on [time] are broken by insertion sequence number, which
-    makes event delivery deterministic. *)
+(** Min-heap (4-ary, for cache locality on the pop path) keyed by
+    [(time, seq)], used as the simulation event queue. Ties on [time] are
+    broken by insertion sequence number, which makes event delivery
+    deterministic. *)
 
 type 'a entry = { time : int64; seq : int; payload : 'a }
 
@@ -9,6 +10,11 @@ type 'a t
 val create : unit -> 'a t
 
 val length : 'a t -> int
+
+(** Slots in the backing array (>= {!length}); exposed so tests and the
+    engine can assert that compaction and shrinking actually release
+    memory. *)
+val capacity : 'a t -> int
 
 val is_empty : 'a t -> bool
 
@@ -19,5 +25,15 @@ val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
 (** Smallest entry without removing it. *)
 val peek : 'a t -> 'a entry option
 
-(** Remove and return the smallest entry. *)
+(** Remove and return the smallest entry. Shrinks the backing array when
+    it is mostly slack, so draining a large campaign releases its peak. *)
 val pop : 'a t -> 'a entry option
+
+(** [filter h keep] removes every entry whose payload fails [keep] and
+    restores the heap invariant in O(n). [keep] is called exactly once
+    per entry (in unspecified order), so it may carry side effects such
+    as marking the dropped entries. Pop order of the survivors is
+    unchanged: the heap pops strictly by [(time, seq)] and sequence
+    numbers are unique. Used by the engine to reclaim cancelled timers
+    without waiting for their deadlines to drain through {!pop}. *)
+val filter : 'a t -> ('a -> bool) -> unit

@@ -1,22 +1,46 @@
-type 'a waiter = { slot : 'a option ref; thread : Engine.thread }
+(* Waiters are kept in a FIFO [Queue.t] with tombstones: a receiver that
+   stops waiting (timeout, kill) marks its own record inactive instead of
+   rebuilding the structure, so send and receive are O(1). The old list
+   representation appended with [@ [w]] and removed with a [List.filter]
+   on [w.thread != me], which was quadratic under load and — worse —
+   dropped the *wrong* record when the same thread re-entered [receive]:
+   cleanup is now by record identity, and [deliver] checks [active]
+   before resuming so a stale record can never steal a message for a
+   thread that is meanwhile suspended somewhere else. *)
+type 'a waiter = {
+  slot : 'a option ref;
+  thread : Engine.thread;
+  mutable active : bool;
+}
 
-type 'a t = { queue : 'a Queue.t; mutable waiters : 'a waiter list }
+type 'a t = {
+  queue : 'a Queue.t;
+  mutable waiters : 'a waiter Queue.t;
+  mutable stale : int; (* inactive records still in [waiters] *)
+}
 
-let create () = { queue = Queue.create (); waiters = [] }
+let create () = { queue = Queue.create (); waiters = Queue.create (); stale = 0 }
 
 let length m = Queue.length m.queue
 
 let is_empty m = Queue.is_empty m.queue
 
-(* Deliver to the first waiter that is still suspended; losers of a
-   wake race (e.g. timed-out receivers) are skipped and dropped. *)
+(* Deliver to the first waiter that is still waiting; tombstones and
+   losers of a wake race (e.g. timed-out receivers whose wakeup is
+   already scheduled) are skipped and dropped. *)
 let rec deliver eng m x =
-  match m.waiters with
-  | [] -> Queue.push x m.queue
-  | w :: rest ->
-    m.waiters <- rest;
-    if Engine.try_resume eng w.thread then w.slot := Some x
-    else deliver eng m x
+  match Queue.take_opt m.waiters with
+  | None -> Queue.push x m.queue
+  | Some w ->
+    if not w.active then begin
+      m.stale <- m.stale - 1;
+      deliver eng m x
+    end
+    else begin
+      w.active <- false;
+      if Engine.try_resume eng w.thread then w.slot := Some x
+      else deliver eng m x
+    end
 
 let send eng m x = deliver eng m x
 
@@ -29,21 +53,48 @@ let clear m =
   Queue.clear m.queue;
   n
 
+(* Drop tombstones once they outnumber the live waiters (with a small
+   floor), keeping the cost amortized O(1) per abandoned wait. *)
+let purge m =
+  let keep = Queue.create () in
+  Queue.iter (fun w -> if w.active then Queue.push w keep) m.waiters;
+  m.waiters <- keep;
+  m.stale <- 0
+
+(* Mark our own waiter record dead. Only this record is touched — never
+   another record belonging to the same thread from an earlier or later
+   [receive] — and [active] tells us whether it is still enqueued
+   (everything that removes a record marks it inactive first). *)
+let retire m = function
+  | Some w when w.active ->
+    w.active <- false;
+    m.stale <- m.stale + 1;
+    if m.stale > 8 && m.stale * 2 > Queue.length m.waiters then purge m
+  | _ -> ()
+
 let receive ?timeout eng m =
   match Queue.take_opt m.queue with
   | Some _ as r -> r
   | None ->
     let slot = ref None in
-    Engine.suspend ~site:"mailbox.receive" (fun thr ->
-        m.waiters <- m.waiters @ [ { slot; thread = thr } ];
-        match timeout with
-        | None -> ()
-        | Some d -> Engine.wake_after eng thr d);
+    let mine = ref None in
+    (try
+       Engine.suspend ~site:"mailbox.receive" (fun thr ->
+           let w = { slot; thread = thr; active = true } in
+           mine := Some w;
+           Queue.push w m.waiters;
+           match timeout with
+           | None -> ()
+           | Some d -> Engine.wake_after eng thr d)
+     with e ->
+       (* Killed while suspended: unwind must not leave a live record
+          behind, or a later send would resume the corpse. *)
+       retire m !mine;
+       raise e);
     (match !slot with
     | Some _ as r -> r
     | None ->
-      let me = Engine.self () in
-      m.waiters <- List.filter (fun w -> w.thread != me) m.waiters;
+      retire m !mine;
       None)
 
 let receive_exn eng m =

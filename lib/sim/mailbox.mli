@@ -1,7 +1,13 @@
 (** Unbounded FIFO message queue with blocking receive.
 
     Used for interrupt dispatch queues, RPC server pools and workload
-    coordination. Delivery order is FIFO and deterministic. *)
+    coordination. Delivery order is FIFO and deterministic.
+
+    Send and receive are O(1): waiters live in a FIFO queue and a
+    receiver that gives up (timeout, kill) tombstones its own record by
+    identity rather than scanning, so a thread that re-enters [receive]
+    can never invalidate its new registration by cleaning up an old
+    one. *)
 
 type 'a t
 

@@ -13,7 +13,7 @@ type result = {
   procs_killed : int;
 }
 val ns_to_s : int64 -> float
-val synth_content : tag:'a -> bytes:int -> bytes
+val synth_content : tag:string -> bytes:int -> bytes
 val derive_output : input:bytes -> bytes:int -> bytes
 val stable_content : Hive.Types.system -> string -> bytes option
 val logical_content : Hive.Types.system -> string -> bytes option

@@ -87,6 +87,22 @@ let test_demo_bug_caught_and_shrunk () =
     (List.length p'.Faultinj.Fuzz.faults <= 2);
   Alcotest.(check bool) "jitter shrunk away" false p'.Faultinj.Fuzz.jitter
 
+(* The parallel campaign driver shards seeds across domains but must
+   merge records back in seed order, so its output is byte-identical to
+   a serial sweep for any job count. *)
+let test_parallel_campaign_matches_serial () =
+  let seeds = Array.init 6 (fun i -> Int64.of_int (i + 1)) in
+  let run s =
+    Faultinj.Fuzz.record_to_json
+      (Faultinj.Fuzz.run_plan (Faultinj.Fuzz.plan_of_seed s))
+  in
+  let serial = Array.to_list (Array.map run seeds) in
+  let out = ref [] in
+  Faultinj.Campaign.run_parallel ~jobs:4 ~seeds ~run
+    ~on_record:(fun _ line -> out := line :: !out);
+  Alcotest.(check (list string)) "4-domain merge byte-identical to serial"
+    serial (List.rev !out)
+
 let test_clean_plan_does_not_shrink () =
   let plan = Faultinj.Fuzz.plan_of_seed 1L in
   match Faultinj.Fuzz.shrink plan with
@@ -107,6 +123,8 @@ let suite =
       `Slow test_dup_bug_caught_and_shrunk;
     Alcotest.test_case "planted containment bug caught and shrunk" `Slow
       test_demo_bug_caught_and_shrunk;
+    Alcotest.test_case "parallel campaign merge matches serial" `Slow
+      test_parallel_campaign_matches_serial;
     Alcotest.test_case "shrink rejects passing plans" `Slow
       test_clean_plan_does_not_shrink;
   ]

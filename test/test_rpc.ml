@@ -181,13 +181,13 @@ let test_concurrent_calls () =
         !done_count)
 
 (* Three cells so a quorum survives killing the client cell. *)
-let with_sys3 f =
+let with_sys3 ?(params = Hive.Params.default) f =
   register ();
   let eng = Sim.Engine.create () in
   let mcfg =
     { Flash.Config.small with Flash.Config.nodes = 3; mem_pages_per_node = 256 }
   in
-  let sys = Hive.System.boot ~mcfg ~ncells:3 ~wax:false eng in
+  let sys = Hive.System.boot ~mcfg ~params ~ncells:3 ~wax:false eng in
   f eng sys
 
 (* A reply addressed to a previous incarnation of the client cell — its
@@ -226,26 +226,22 @@ let test_reboot_drops_stale_reply () =
    acceptance must be recorded and the epoch invariant checker must name
    it (this is how the fuzzer proves the checker has teeth). *)
 let test_epoch_checker_catches_disabled_check () =
-  with_sys3 (fun eng sys ->
-      Fun.protect
-        ~finally:(fun () -> Hive.Rpc.disable_epoch_check := false)
-        (fun () ->
-          Hive.Rpc.disable_epoch_check := true;
-          ignore
-            (Sim.Engine.spawn eng (fun () ->
-                 ignore
-                   (Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
-                      ~op:slow99_op ~timeout_ns:3_000_000_000L
-                      Hive.Types.P_unit)));
-          ignore
-            (Sim.Engine.spawn eng (fun () ->
-                 Sim.Engine.delay 100_000_000L;
-                 Hive.System.inject_node_failure sys 0));
-          ignore
-            (Hive.System.run_until sys ~deadline:5_000_000_000L (fun () ->
-                 false));
-          Alcotest.(check bool) "stale acceptance flagged" true
-            (Hive.Invariants.check_rpc_epochs sys <> [])))
+  with_sys3
+    ~params:{ Hive.Params.default with Hive.Params.rpc_epoch_check = false }
+    (fun eng sys ->
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             ignore
+               (Hive.Rpc.call sys ~from:sys.Hive.Types.cells.(0) ~target:1
+                  ~op:slow99_op ~timeout_ns:3_000_000_000L Hive.Types.P_unit)));
+      ignore
+        (Sim.Engine.spawn eng (fun () ->
+             Sim.Engine.delay 100_000_000L;
+             Hive.System.inject_node_failure sys 0));
+      ignore
+        (Hive.System.run_until sys ~deadline:5_000_000_000L (fun () -> false));
+      Alcotest.(check bool) "stale acceptance flagged" true
+        (Hive.Invariants.check_rpc_epochs sys <> []))
 
 (* A reply that arrives after the caller exhausted its retransmission
    budget and gave up: counted, dropped, and it must not complete (or

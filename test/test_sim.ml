@@ -370,6 +370,82 @@ let qcheck_heap_ordered =
       | popped -> List.length popped = List.length times
       | exception Exit -> false)
 
+let qcheck_heap_filter_preserves_order =
+  QCheck.Test.make
+    ~name:"heap filter drops exactly the marked entries, order intact"
+    ~count:200
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun spec ->
+      let entries = List.mapi (fun i (t, b) -> (Int64.of_int t, i, b)) spec in
+      let h = Sim.Heap.create () in
+      List.iter (fun (t, i, _) -> Sim.Heap.push h ~time:t ~seq:i i) entries;
+      let keep = Array.of_list (List.map (fun (_, _, b) -> b) entries) in
+      Sim.Heap.filter h (fun i -> keep.(i));
+      let expected =
+        List.filter_map (fun (t, i, b) -> if b then Some (t, i) else None)
+          entries
+        |> List.sort compare |> List.map snd
+      in
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some e -> drain (e.Sim.Heap.payload :: acc)
+      in
+      drain [] = expected)
+
+(* Draining a large heap must release its peak allocation: a long-lived
+   engine should not pin the backing array of its largest campaign. *)
+let test_heap_pop_releases_peak () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 4095 do
+    Sim.Heap.push h ~time:(Int64.of_int (i land 63)) ~seq:i i
+  done;
+  let peak = Sim.Heap.capacity h in
+  Alcotest.(check bool) "backing array grew" true (peak >= 4096);
+  for _ = 1 to 4080 do
+    ignore (Sim.Heap.pop h)
+  done;
+  Alcotest.(check int) "survivors remain" 16 (Sim.Heap.length h);
+  Alcotest.(check bool) "peak released" true (Sim.Heap.capacity h < peak / 4)
+
+(* Cancelling timers must reclaim their queue entries eagerly (via heap
+   compaction) instead of letting tombstones drain through pop at their
+   original deadlines. *)
+let test_cancelled_timers_compacted () =
+  let eng = Sim.Engine.create () in
+  let fired = ref 0 in
+  let timers =
+    List.init 100 (fun i ->
+        Sim.Engine.timer eng
+          ~after:(Int64.of_int (1000 + i))
+          (fun () -> incr fired))
+  in
+  List.iteri (fun i tm -> if i < 90 then Sim.Engine.cancel tm) timers;
+  Alcotest.(check bool) "dead entries reclaimed before their deadlines" true
+    (Sim.Engine.cancelled_pending eng < 90);
+  Sim.Engine.run eng;
+  Alcotest.(check int) "surviving timers fired" 10 !fired;
+  Alcotest.(check int) "queue fully drained" 0
+    (Sim.Engine.cancelled_pending eng)
+
+(* Engines are single-threaded by construction; parallel fuzz workers
+   each own a private one. Driving an engine from another domain must be
+   refused loudly, not corrupt the queue silently. *)
+let test_foreign_domain_rejected () =
+  let eng = Sim.Engine.create () in
+  let verdict =
+    Domain.spawn (fun () ->
+        match Sim.Engine.spawn eng (fun () -> ()) with
+        | _ -> "accepted"
+        | exception Invalid_argument _ -> "rejected")
+  in
+  Alcotest.(check string) "cross-domain scheduling refused" "rejected"
+    (Domain.join verdict);
+  (* The owner can still use it afterwards. *)
+  ignore (Sim.Engine.spawn eng (fun () -> Sim.Engine.delay 1L));
+  Sim.Engine.run eng;
+  check_i64 "owner unaffected" 1L (Sim.Engine.now eng)
+
 let qcheck_prng_bounds =
   QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
     QCheck.(pair small_int (int_range 1 10000))
@@ -469,7 +545,14 @@ let suite =
       test_deadlock_names_blocked_threads;
     Alcotest.test_case "no deadlock when all threads exit" `Quick
       test_no_deadlock_when_all_exit;
+    Alcotest.test_case "heap pop releases peak capacity" `Quick
+      test_heap_pop_releases_peak;
+    Alcotest.test_case "cancelled timers compacted eagerly" `Quick
+      test_cancelled_timers_compacted;
+    Alcotest.test_case "engine rejects use from a foreign domain" `Quick
+      test_foreign_domain_rejected;
     QCheck_alcotest.to_alcotest qcheck_heap_ordered;
+    QCheck_alcotest.to_alcotest qcheck_heap_filter_preserves_order;
     QCheck_alcotest.to_alcotest qcheck_prng_bounds;
     QCheck_alcotest.to_alcotest qcheck_mailbox_preserves_messages;
   ]
