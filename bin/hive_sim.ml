@@ -354,8 +354,8 @@ let run_fault kind shape node victim at_ms cascade_node oracle link_from
 
 (* ---- fuzz command ---- *)
 
-let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug jobs
-    output =
+let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug
+    split_brain jobs output =
   let out_chan = Option.map open_out out in
   let emit r =
     match out_chan with
@@ -376,11 +376,14 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug jobs
       if not traced then begin
         let trace = Printf.sprintf "fuzz-fail-0x%Lx.trace.json" seed in
         ignore
-          (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~trace_out:trace plan);
+          (Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~split_brain
+             ~trace_out:trace plan);
         Printf.printf "  trace written to %s\n" trace
       end;
       if shrink_flag then begin
-        let p', r' = Faultinj.Fuzz.shrink ~demo_bug ~dup_bug plan in
+        let p', r' =
+          Faultinj.Fuzz.shrink ~demo_bug ~dup_bug ~split_brain plan
+        in
         Printf.printf "  shrunk to: %s\n" (Faultinj.Fuzz.describe_plan p');
         Printf.printf "  %s\n" (Faultinj.Fuzz.record_to_json r')
       end;
@@ -400,7 +403,7 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug jobs
     match replay with
     | Some seed ->
       let r =
-        Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug
+        Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~split_brain
           ?trace_out:output.out_trace ?metrics_out:output.out_metrics
           (Faultinj.Fuzz.plan_of_seed seed)
       in
@@ -412,7 +415,7 @@ let run_fuzz seeds seed_base replay shrink_flag out demo_bug dup_bug jobs
       in
       Faultinj.Campaign.run_parallel ~jobs ~seeds:seed_list
         ~run:(fun seed ->
-          Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug
+          Faultinj.Fuzz.run_plan ~demo_bug ~dup_bug ~split_brain
             (Faultinj.Fuzz.plan_of_seed seed))
         ~on_record:(fun seed r ->
           if not (report ~traced:false seed r) then incr failures);
@@ -617,6 +620,16 @@ let dup_bug_arg =
            window — to prove the at-most-once checker catches duplicate \
            execution.")
 
+let split_brain_arg =
+  Arg.(
+    value & flag
+    & info [ "demo-split-brain" ]
+        ~doc:
+          "(testing) Plant a deliberate agreement bug — the quorum check \
+           disabled while cell 0 is severed from the rest of the machine \
+           — to prove the latched single-master oracle catches the \
+           resulting concurrent recovery masters.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -637,7 +650,8 @@ let fuzz_cmd =
           --metrics-json capture that run's artifacts.")
     Term.(
       const run_fuzz $ seeds_arg $ seed_base_arg $ replay_arg $ shrink_arg
-      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg $ jobs_arg $ output_term)
+      $ fuzz_out_arg $ demo_bug_arg $ dup_bug_arg $ split_brain_arg
+      $ jobs_arg $ output_term)
 
 let main =
   Cmd.group

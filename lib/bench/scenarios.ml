@@ -361,6 +361,249 @@ let declare_fuzz () =
        ~dims:[ { base with ws_pages = 8 } ]
        run_fuzz_parallel_merge)
 
+(* ---------- area resilience ---------- *)
+
+(* Partition-and-heal profile and the memory-salvage A/B. Both rows are
+   pure functions of simulated time and counters, like everything else in
+   the sweep, so the committed BENCH_resilience.json trajectory gates the
+   partition fault model and the salvage path against drift. *)
+
+let settle_ns = 50_000_000L
+
+let run_in_thread eng f =
+  let out = ref None in
+  ignore (Sim.Engine.spawn eng ~name:"bench" (fun () -> out := Some (f ())));
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 30_000_000_000L) eng;
+  match !out with
+  | Some v -> v
+  | None -> failwith "resilience: bench thread did not finish"
+
+let raise_hint sys ~by ~suspect =
+  match sys.Hive.Types.on_hint with
+  | Some f ->
+    f sys.Hive.Types.cells.(by) ~suspect ~reason:"bench fault injection"
+  | None -> failwith "resilience: no hint handler installed"
+
+(* Sever every link into and out of [cell] for [window_ns] starting now;
+   the heal is a deterministic scheduled event. *)
+let sever_cell sys ~cell ~window_ns =
+  let sips = Flash.Machine.sips sys.Hive.Types.machine in
+  let t0 = Sim.Engine.now sys.Hive.Types.eng in
+  let until_ns = Int64.add t0 window_ns in
+  List.iter
+    (fun n ->
+      Flash.Sips.partition sips
+        { Flash.Sips.part_from = -1; part_to = n; part_from_ns = t0;
+          part_until_ns = until_ns };
+      Flash.Sips.partition sips
+        { Flash.Sips.part_from = n; part_to = -1; part_from_ns = t0;
+          part_until_ns = until_ns })
+    sys.Hive.Types.cells.(cell).Hive.Types.cell_nodes
+
+(* Black out one cell for link_ms, let agreement excise it, and measure
+   the path back to a single unified live set after the deterministic
+   heal: the victim is still running behind the blackout, so reclamation
+   defers, the heal stops it, and reintegration reunifies the machine. *)
+let run_partition_heal (dims : dims) =
+  let eng = Sim.Engine.create () in
+  let mcfg = Flash.Config.with_nodes Flash.Config.default dims.nodes in
+  let sys = Hive.System.boot ~mcfg ~ncells:dims.cells ~wax:false eng in
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) settle_ns) eng;
+  let victim = dims.cells - 1 in
+  let t0 = Sim.Engine.now eng in
+  let window_ns = Int64.of_int (dims.link_ms * 1_000_000) in
+  let heal_ns = Int64.add t0 window_ns in
+  sever_cell sys ~cell:victim ~window_ns;
+  raise_hint sys ~by:0 ~suspect:victim;
+  let unified () =
+    Array.for_all
+      (fun (c : Hive.Types.cell) ->
+        Hive.Types.cell_alive c
+        && List.length c.Hive.Types.live_set = dims.cells)
+      sys.Hive.Types.cells
+  in
+  (* Only a unified live set *after* the heal counts: short windows ride
+     through on retransmission (the alert is dismissed), long windows
+     excise the victim and reunify through reintegration. *)
+  let reunified =
+    Hive.System.run_until sys
+      ~deadline:(Int64.add heal_ns 6_000_000_000L)
+      (fun () ->
+        Int64.compare (Sim.Engine.now eng) heal_ns >= 0 && unified ())
+  in
+  let reunify_ms =
+    Int64.to_float (Int64.sub (Sim.Engine.now eng) t0) /. 1e6
+  in
+  let single_master_ok =
+    sys.Hive.Types.master_overlaps = []
+    && Hive.Invariants.check_single_master sys = []
+  in
+  let deferred =
+    List.length
+      (List.filter
+         (fun (p, _) -> p = "recovery.reclaim_deferred")
+         sys.Hive.Types.recovery_timeline)
+  in
+  let sysc name = float_of_int (Sim.Stats.value sys.Hive.Types.sys_counters name) in
+  [
+    metric ~dir:Higher_better "reunified" (if reunified then 1. else 0.);
+    metric ~dir:Higher_better "single_master_ok"
+      (if single_master_ok then 1. else 0.);
+    metric "reunify_ms" reunify_ms;
+    metric ~dir:Info "blocked_envelopes"
+      (float_of_int
+         (Flash.Sips.partition_blocked_count
+            (Flash.Machine.sips sys.Hive.Types.machine)));
+    metric ~dir:Info "agreement_rounds" (sysc "agreement.rounds");
+    metric ~dir:Info "excisions_confirmed" (sysc "agreement.confirmed");
+    metric ~dir:Info "alerts_dismissed" (sysc "agreement.dismissed");
+    metric ~dir:Info "reintegrations" (sysc "cell.reintegrations");
+    metric ~dir:Info "reclaims_deferred" (float_of_int deferred);
+  ]
+
+(* CXL-style memory salvage A/B: import ws clean pages from a remote home,
+   halt the home's processors with its memory alive, and count how many
+   survive recovery locally (salvage on) versus being discarded and lost
+   to EIO (salvage off, the [import_cache] dimension reused as the knob). *)
+let run_salvage_ab (dims : dims) =
+  let eng = Sim.Engine.create () in
+  let mcfg = Flash.Config.with_nodes Flash.Config.default dims.nodes in
+  (* auto_reintegrate off: the home stays down, so a discarded page is
+     genuinely unreadable rather than quietly refetched from the reboot. *)
+  let params =
+    {
+      Hive.Params.default with
+      Hive.Params.enable_salvage = dims.import_cache;
+      auto_reintegrate = false;
+    }
+  in
+  let sys = Hive.System.boot ~mcfg ~params ~ncells:dims.cells ~wax:false eng in
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) settle_ns) eng;
+  let c0 = sys.Hive.Types.cells.(0) in
+  let home = 1 in
+  let path =
+    let rec go k =
+      let p = Printf.sprintf "/cxl/bench.%d" k in
+      if Hive.Fs.home_of_path sys p = home then p else go (k + 1)
+    in
+    go 0
+  in
+  let psize = Hive.Types.page_size sys in
+  let npages = dims.ws_pages in
+  let content =
+    Workloads.Workload.synth_content ~tag:path ~bytes:(npages * psize)
+  in
+  let vn, gen =
+    run_in_thread eng (fun () ->
+        match Hive.Fs.create_file sys c0 ~path ~content with
+        | Error _ -> failwith "resilience: create failed"
+        | Ok _ -> (
+          Hive.Fs.sync_cell sys sys.Hive.Types.cells.(home);
+          match Hive.Fs.open_file sys c0 ~path with
+          | Ok (vn, gen) -> (vn, gen)
+          | Error _ -> failwith "resilience: open failed"))
+  in
+  let imported =
+    run_in_thread eng (fun () ->
+        let n = ref 0 in
+        for page = 0 to npages - 1 do
+          match
+            Hive.Fs.get_page sys c0 vn ~page ~writable:false ~opened_gen:gen
+              ~usage:`Syscall
+          with
+          | Ok _ -> incr n
+          | Error _ -> ()
+        done;
+        !n)
+  in
+  List.iter
+    (fun node -> Hive.System.inject_cpu_failure sys node)
+    sys.Hive.Types.cells.(home).Hive.Types.cell_nodes;
+  raise_hint sys ~by:0 ~suspect:home;
+  ignore
+    (Hive.System.run_until sys
+       ~deadline:(Int64.add (Sim.Engine.now eng) 5_000_000_000L)
+       (fun () ->
+         (not sys.Hive.Types.recovery_in_progress)
+         && sys.Hive.Types.recovery_events <> []));
+  let salvaged =
+    Sim.Stats.value c0.Hive.Types.counters "vm.salvaged_pages"
+  in
+  (* Post-failure reads: a salvaged page is served locally and must be
+     byte-identical to what the dead home exported; a discarded page is
+     lost until the home reboots. *)
+  let readable, identical =
+    run_in_thread eng (fun () ->
+        let readable = ref 0 and identical = ref 0 in
+        let mem = Flash.Machine.memory sys.Hive.Types.machine in
+        for page = 0 to npages - 1 do
+          match
+            Hive.Fs.get_page sys c0 vn ~page ~writable:false ~opened_gen:gen
+              ~usage:`Syscall
+          with
+          | Error _ -> ()
+          | Ok pf ->
+            incr readable;
+            let got =
+              Flash.Memory.peek mem
+                (Hive.Fs.frame_addr sys pf.Hive.Types.pfn)
+                psize
+            in
+            if Bytes.equal got (Bytes.sub content (page * psize) psize) then
+              incr identical
+        done;
+        (!readable, !identical))
+  in
+  [
+    metric ~dir:Higher_better "readable_after_failure"
+      (float_of_int readable);
+    metric "discarded_pages" (float_of_int (imported - readable));
+    metric ~dir:Higher_better "byte_identical" (float_of_int identical);
+    metric ~dir:Info "salvaged_pages" (float_of_int salvaged);
+    metric ~dir:Info "imported_pages" (float_of_int imported);
+  ]
+
+let declare_resilience () =
+  let part_base =
+    { default_dims with workload = "partition"; cells = 4; nodes = 4 }
+  in
+  ignore
+    (declare ~name:"partition-heal" ~area:"resilience"
+       ~doc:
+         "black out one cell for link_ms, excise it under quorum \
+          agreement, and measure reunification after the deterministic \
+          heal (single-master invariant checked per row)"
+       ~dims:
+         [
+           { part_base with link_ms = 200 };
+           { part_base with link_ms = 800 };
+           { part_base with link_ms = 3000 };
+         ]
+       ~quick:[ { part_base with link_ms = 200 } ]
+       run_partition_heal);
+  let salv_base =
+    { default_dims with workload = "salvage"; cells = 2; nodes = 4 }
+  in
+  ignore
+    (declare ~name:"salvage-ab" ~area:"resilience"
+       ~doc:
+         "memory salvage A/B: clean pages imported from a cpu-dead \
+          mem-alive home that survive recovery locally vs discarded \
+          (cache dimension = salvage knob)"
+       ~dims:
+         [
+           { salv_base with ws_pages = 16 };
+           { salv_base with ws_pages = 16; import_cache = false };
+           { salv_base with ws_pages = 64 };
+           { salv_base with ws_pages = 64; import_cache = false };
+         ]
+       ~quick:
+         [
+           { salv_base with ws_pages = 16 };
+           { salv_base with ws_pages = 16; import_cache = false };
+         ]
+       run_salvage_ab)
+
 (* ---------- registration ---------- *)
 
 let registered = ref false
@@ -371,5 +614,6 @@ let register () =
     declare_rpc ();
     declare_sharing ();
     declare_workloads ();
-    declare_fuzz ()
+    declare_fuzz ();
+    declare_resilience ()
   end

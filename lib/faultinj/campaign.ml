@@ -32,6 +32,13 @@ type fault =
       max_delay_ns : int64;
       salt : int64; (* seeds the window's own per-message PRNG *)
     }
+  | Partition of {
+      part_cell : int; (* cell severed from the rest of the machine *)
+      at_ns : int64;
+      dur_ns : int64; (* heals deterministically at at_ns + dur_ns *)
+      one_way : bool; (* true: only traffic INTO the cell is lost *)
+    }
+  | Cpu_dead_mem_alive of { node : int; at_ns : int64 }
 
 type outcome = {
   fault_desc : string;
@@ -126,20 +133,60 @@ let inject (sys : Hive.Types.system) rng fault =
       (if deg_to >= 0 then
          (Hive.Types.cell_of_node sys deg_to).Hive.Types.cell_id
        else 0)
+  | Partition { part_cell; dur_ns; one_way; _ } ->
+    (* Sever every directed link between the cell's nodes and the rest of
+       the machine. Intra-cell links stay up: the cell keeps running on
+       its own side of the blackout. [one_way] models asymmetric
+       reachability: only traffic into the cell is lost, so its own sends
+       still arrive while every reply (and probe) back to it vanishes. *)
+    let sips = Flash.Machine.sips sys.Hive.Types.machine in
+    let now = Sim.Engine.now sys.Hive.Types.eng in
+    let until = Int64.add now dur_ns in
+    let inside =
+      sys.Hive.Types.cells.(part_cell).Hive.Types.cell_nodes
+    in
+    let outside =
+      Array.to_list sys.Hive.Types.cells
+      |> List.concat_map (fun (c : Hive.Types.cell) ->
+             if c.Hive.Types.cell_id = part_cell then []
+             else c.Hive.Types.cell_nodes)
+    in
+    List.iter
+      (fun inner ->
+        List.iter
+          (fun outer ->
+            Flash.Sips.partition sips
+              { Flash.Sips.part_from = outer; part_to = inner;
+                part_from_ns = now; part_until_ns = until };
+            if not one_way then
+              Flash.Sips.partition sips
+                { Flash.Sips.part_from = inner; part_to = outer;
+                  part_from_ns = now; part_until_ns = until })
+          outside)
+      inside;
+    Some part_cell
+  | Cpu_dead_mem_alive { node; _ } ->
+    Hive.System.inject_cpu_failure sys node;
+    Some (Hive.Types.cell_of_node sys node).Hive.Types.cell_id
 
 (* Whether the fault destroys or corrupts kernel state on the victim cell
    (so checkers must exempt it). Link degradation only perturbs message
    delivery: every cell must come out fully coherent, so it is never
-   exempted. *)
+   exempted. A partitioned minority cell stands down (self-panics) and is
+   rebooted with zeroed memory at reintegration, so it is exempted like
+   any other fail-stop victim. *)
 let corrupts_cell = function
   | Node_failure _ | Corrupt_map _ | Corrupt_cow _ -> true
   | Link_degrade _ -> false
+  | Partition _ | Cpu_dead_mem_alive _ -> true
 
 let fault_time = function
   | Node_failure { at_ns; _ } -> at_ns
   | Corrupt_map { at_ns; _ } -> at_ns
   | Corrupt_cow { at_ns; _ } -> at_ns
   | Link_degrade { at_ns; _ } -> at_ns
+  | Partition { at_ns; _ } -> at_ns
+  | Cpu_dead_mem_alive { at_ns; _ } -> at_ns
 
 let describe = function
   | Node_failure { node; _ } -> Printf.sprintf "node %d fail-stop" node
@@ -155,6 +202,12 @@ let describe = function
       (if deg_to = -1 then "*" else string_of_int deg_to)
       (Int64.div dur_ns 1_000_000L)
       drop_pct dup_pct delay_pct
+  | Partition { part_cell; dur_ns; one_way; _ } ->
+    Printf.sprintf "partition cell %d for %Ld ms (%s)" part_cell
+      (Int64.div dur_ns 1_000_000L)
+      (if one_way then "inbound only" else "both ways")
+  | Cpu_dead_mem_alive { node; _ } ->
+    Printf.sprintf "node %d CPU dead, memory alive" node
 
 (* Run one fault-injection test. *)
 let run_test ?(seed = 1) ~workload fault =

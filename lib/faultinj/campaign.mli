@@ -36,6 +36,13 @@ type fault =
       max_delay_ns : int64;
       salt : int64; (* seeds the window's own per-message PRNG *)
     }
+  | Partition of {
+      part_cell : int; (* cell severed from the rest of the machine *)
+      at_ns : int64;
+      dur_ns : int64; (* heals deterministically at at_ns + dur_ns *)
+      one_way : bool; (* true: only traffic INTO the cell is lost *)
+    }
+  | Cpu_dead_mem_alive of { node : int; at_ns : int64 }
 type outcome = {
   fault_desc : string;
   injected_cell : int;
@@ -57,7 +64,9 @@ val inject :
 
 (** Whether the fault destroys/corrupts kernel state on the victim cell
     (so checkers must exempt it). Link degradation never does: every cell
-    must come out of it fully coherent. *)
+    must come out of it fully coherent. A partitioned minority cell
+    stands down and is rebooted with zeroed memory at reintegration, so
+    it counts. *)
 val corrupts_cell : fault -> bool
 
 val fault_time : fault -> int64

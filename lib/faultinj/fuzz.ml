@@ -39,6 +39,8 @@ let inject_salt = 0xBF58476D1CE4E5B9L
 let cfg_salt = 0x9E3779B97F4A7C15L
 let link_salt = 0xD6E8FEB86659FD93L
 let dup_salt = 0xC2B2AE3D27D4EB4FL
+let part_salt = 0x2545F4914F6CDD1DL
+let cpu_salt = 0xDA942042E4DD58B5L
 
 let ms n = Int64.mul (Int64.of_int n) 1_000_000L
 
@@ -139,6 +141,51 @@ let plan_of_seed seed =
     |> List.stable_sort (fun a b ->
            Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
   in
+  (* CPU-death and partition faults come from two more salted streams,
+     appended after the link stream for the same reason: pre-existing
+     seeds keep their exact plans and merely gain the new fault kinds.
+     A partition only makes sense when the cells outside it can still
+     muster a strict majority of the pre-fault live set — otherwise both
+     sides correctly stand down (safety over liveness) and nobody is left
+     to reintegrate anyone, which is a 2-cell even-split limitation of
+     the protocol, not a bug the fuzzer should report. So: at least 3
+     cells, and few enough other cell-killing faults that the majority
+     side keeps its quorum. *)
+  let crng = Sim.Prng.of_int64 (Int64.logxor seed cpu_salt) in
+  let ncpu = [| 0; 0; 0; 0; 1 |].(Sim.Prng.int crng 5) in
+  let gen_cpu _ =
+    let vc = 1 + Sim.Prng.int crng (ncells - 1) in
+    Campaign.Cpu_dead_mem_alive
+      {
+        node = (vc * nodes_per_cell) + Sim.Prng.int crng nodes_per_cell;
+        at_ns = ms (30 + Sim.Prng.int crng 1170);
+      }
+  in
+  let cpu_faults = List.init ncpu gen_cpu in
+  let killers =
+    List.length cpu_faults
+    + List.length (List.filter Campaign.corrupts_cell faults)
+  in
+  let prng = Sim.Prng.of_int64 (Int64.logxor seed part_salt) in
+  let nparts =
+    if ncells >= 3 && killers <= ncells - 3 then
+      [| 0; 0; 0; 1; 1 |].(Sim.Prng.int prng 5)
+    else 0
+  in
+  let gen_part _ =
+    Campaign.Partition
+      {
+        part_cell = 1 + Sim.Prng.int prng (ncells - 1);
+        at_ns = ms (60 + Sim.Prng.int prng 900);
+        dur_ns = ms (120 + Sim.Prng.int prng 280);
+        one_way = Sim.Prng.int prng 3 = 0;
+      }
+  in
+  let faults =
+    faults @ cpu_faults @ List.init nparts gen_part
+    |> List.stable_sort (fun a b ->
+           Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
+  in
   { seed; ncells; nodes_per_cell; mem_pages_per_node; workload; jitter; faults }
 
 let describe_plan p =
@@ -236,8 +283,8 @@ let check_cfg =
 
 let quiesce_deadline_ns = 10_000_000_000L
 
-let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
-    plan =
+let run_plan ?(demo_bug = false) ?(dup_bug = false) ?(split_brain = false)
+    ?trace_out ?metrics_out plan =
   let eng = Sim.Engine.create () in
   let nodes = plan.ncells * plan.nodes_per_cell in
   let mcfg =
@@ -248,11 +295,19 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
     }
   in
   (* Planted transport bug (part 1): boot the system with the servers'
-     reply caches off, so retransmitted requests really execute twice. *)
+     reply caches off, so retransmitted requests really execute twice.
+     Planted split-brain bug (part 1): boot with the agreement quorum
+     check off, reverting to the historical "silence is a death vote"
+     confirmation rule. *)
   let params =
-    if dup_bug then
-      { Hive.Params.default with Hive.Params.rpc_dup_suppression = false }
-    else Hive.Params.default
+    let p =
+      if dup_bug then
+        { Hive.Params.default with Hive.Params.rpc_dup_suppression = false }
+      else Hive.Params.default
+    in
+    if split_brain then
+      { p with Hive.Params.agreement_quorum_check = false }
+    else p
   in
   let sys = Hive.System.boot ~mcfg ~params ~ncells:plan.ncells ~wax:true eng in
   let close_trace =
@@ -287,6 +342,33 @@ let run_plan ?(demo_bug = false) ?(dup_bug = false) ?trace_out ?metrics_out
         delay_pct = 25;
         max_delay_ns = 2_000_000L;
       }
+  end;
+  (* Planted split-brain bug (part 2): sever cell 0 from the rest of the
+     machine mid-run and never heal. Under the historical confirmation
+     rule (see boot params) each side of the blackout confirms the other
+     dead and elects its own recovery master; the continuously-latched
+     single-master oracle must catch the overlap. *)
+  if split_brain then begin
+    let sips = Flash.Machine.sips sys.Hive.Types.machine in
+    let inside = sys.Hive.Types.cells.(0).Hive.Types.cell_nodes in
+    let outside =
+      Array.to_list sys.Hive.Types.cells
+      |> List.concat_map (fun (c : Hive.Types.cell) ->
+             if c.Hive.Types.cell_id = 0 then []
+             else c.Hive.Types.cell_nodes)
+    in
+    List.iter
+      (fun inner ->
+        List.iter
+          (fun outer ->
+            Flash.Sips.partition sips
+              { Flash.Sips.part_from = outer; part_to = inner;
+                part_from_ns = 400_000_000L; part_until_ns = Int64.max_int };
+            Flash.Sips.partition sips
+              { Flash.Sips.part_from = inner; part_to = outer;
+                part_from_ns = 400_000_000L; part_until_ns = Int64.max_int })
+          outside)
+      inside
   end;
   let cfg = cfg_of_plan plan in
   let injected = ref [] and exempt = ref [] in
@@ -472,10 +554,15 @@ let round_fault grain = function
     Campaign.Corrupt_cow { f with at_ns = round_to grain f.at_ns }
   | Campaign.Link_degrade f ->
     Campaign.Link_degrade { f with at_ns = round_to grain f.at_ns }
+  | Campaign.Partition f ->
+    Campaign.Partition { f with at_ns = round_to grain f.at_ns }
+  | Campaign.Cpu_dead_mem_alive f ->
+    Campaign.Cpu_dead_mem_alive { f with at_ns = round_to grain f.at_ns }
 
-let shrink ?(demo_bug = false) ?(dup_bug = false) plan =
+let shrink ?(demo_bug = false) ?(dup_bug = false) ?(split_brain = false) plan
+    =
   let fails p =
-    let r = run_plan ~demo_bug ~dup_bug p in
+    let r = run_plan ~demo_bug ~dup_bug ~split_brain p in
     if failed r then Some r else None
   in
   match fails plan with

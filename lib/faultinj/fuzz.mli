@@ -44,11 +44,17 @@ val describe_plan : plan -> string
     reply-cache suppression is disabled while a duplication-heavy
     machine-wide degradation window runs, so retransmitted requests
     execute twice and the at-most-once checker must flag it.
+    [split_brain] plants an agreement bug: the quorum check is disabled
+    (silence counts as a death vote) while cell 0 is severed from the
+    rest of the machine, so both sides of the blackout confirm each
+    other dead and elect concurrent recovery masters — the latched
+    single-master oracle must flag the overlap.
     [trace_out] writes a Chrome trace_event JSON file of the run;
     [metrics_out] writes the end-of-run typed metrics snapshot as JSON. *)
 val run_plan :
   ?demo_bug:bool ->
   ?dup_bug:bool ->
+  ?split_brain:bool ->
   ?trace_out:string ->
   ?metrics_out:string ->
   plan ->
@@ -64,4 +70,5 @@ val record_to_json : record -> string
     coarser grains, and disable jitter, keeping each simplification only
     if the plan still fails. Returns the minimal plan and its record.
     Raises [Invalid_argument] if the plan does not fail to begin with. *)
-val shrink : ?demo_bug:bool -> ?dup_bug:bool -> plan -> plan * record
+val shrink :
+  ?demo_bug:bool -> ?dup_bug:bool -> ?split_brain:bool -> plan -> plan * record

@@ -60,6 +60,20 @@ let fail_node t i =
     List.iter (fun f -> f i) t.failure_listeners
   end
 
+(* CXL-style processor failure: the CPU halts and SIPS goes silent, but
+   the node's memory controller keeps answering — remote reads of its
+   pages still succeed. Survivors see a peer whose clock word is readable
+   but frozen and whose messages never arrive; its clean exported pages
+   can be salvaged instead of discarded. *)
+let fail_node_cpu t i =
+  let n = t.nodes.(i) in
+  if n.alive then begin
+    n.alive <- false;
+    Cpu.halt n.cpu;
+    Sips.fail_node t.sips i;
+    List.iter (fun f -> f i) t.failure_listeners
+  end
+
 (* Repair and reintegrate a node (memory zeroed). *)
 let restore_node t i =
   let n = t.nodes.(i) in

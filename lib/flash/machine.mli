@@ -38,6 +38,11 @@ val on_node_failure : t -> (int -> unit) -> unit
     denied, messages dropped. *)
 val fail_node : t -> int -> unit
 
+(** Inject a CXL-style processor failure: CPU halted and SIPS silenced,
+    but the node's memory stays readable by survivors (pooled-memory
+    fault model — "Towards CXL Resilience to CPU Failures"). *)
+val fail_node_cpu : t -> int -> unit
+
 (** Repair and reintegrate a node after diagnostics pass (memory zeroed). *)
 val restore_node : t -> int -> unit
 

@@ -42,6 +42,18 @@ type degradation = {
   max_delay_ns : int64;
 }
 
+(** A directed blackout window: every message from [part_from] to
+    [part_to] (-1 = any node) whose flight overlaps [from_ns, until_ns)
+    is lost on the wire — the link is severed in that direction, with no
+    probability involved. Asymmetric reachability is a window armed in
+    only one direction; a full partition arms both. *)
+type partition = {
+  part_from : int;
+  part_to : int;
+  part_from_ns : int64;
+  part_until_ns : int64;
+}
+
 type t
 
 val max_payload : int
@@ -65,6 +77,24 @@ val degrade : t -> rng:Sim.Prng.t -> degradation -> unit
 
 val clear_degradations : t -> unit
 
+(** Arm a directed blackout window. Messages whose flight overlaps the
+    window are lost (counted, not delivered), and when the window expires
+    the destination's receive queues are scrubbed of envelopes that
+    originated behind the partition — the {!restore_node} stale-envelope
+    purge, run on heal, so pre-partition traffic cannot leak across the
+    blackout. Healing is deterministic: a scheduled event at
+    [part_until_ns]. *)
+val partition : t -> partition -> unit
+
+val clear_partitions : t -> unit
+
+(** Is the directed link [from_node] → [to_node] currently outside every
+    armed blackout window? This is the interconnect's own ground truth —
+    kernels must infer it from probe behavior, but the simulator (and the
+    careful-reference layer, whose remote reads ride the same wires) may
+    ask directly. *)
+val reachable : t -> from_node:int -> to_node:int -> bool
+
 (** Send a message; delivery takes one IPI latency plus the SIPS data
     latency (plus any degradation-window effects). Raises {!Too_large}
     over 128 declared bytes and {!Target_failed} if the destination node
@@ -87,5 +117,9 @@ val dup_count : t -> int
 
 val delay_count : t -> int
 
-(** Stale pre-failure envelopes purged by {!restore_node}. *)
+(** Stale pre-failure envelopes purged by {!restore_node} or by a
+    partition heal. *)
 val stale_purged_count : t -> int
+
+(** Messages lost to partition blackout windows. *)
+val partition_blocked_count : t -> int

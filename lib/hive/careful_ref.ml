@@ -22,6 +22,10 @@ type failure_reason =
   | Bus_fault of int
   | Loop_detected
   | Bad_value of string
+  | Unreachable of int
+      (* the interconnect to the target cell is partitioned: the remote
+         read times out rather than bus-faulting — distinguishable from
+         dead hardware, which answers with an error, not silence *)
 
 exception Careful_abort of failure_reason
 
@@ -40,6 +44,7 @@ let reason_to_string = function
   | Bus_fault a -> Printf.sprintf "bus error at 0x%x" a
   | Loop_detected -> "loop detected in linked structure"
   | Bad_value s -> "bad value: " ^ s
+  | Unreachable c -> Printf.sprintf "cell %d unreachable (partition)" c
 
 (* Backstop against unbounded traversals of corrupt linked structures;
    per-structure validation (tags, entry-count bounds) is the primary
@@ -94,13 +99,30 @@ let read_field ctx ~addr ~index = read_i64 ctx (addr + Kmem.header_bytes + (8 * 
    defended failure is returned as [Error reason] rather than unwinding
    into (and panicking) the reading kernel. The reading cell's caller is
    responsible for reporting a failure hint if appropriate. *)
+(* Remote memory reads ride the same interconnect as messages: a blackout
+   window between the reader and the target (in either direction — the
+   read request travels one way, the data the other) makes the careful
+   section time out, which is a distinct observable from a bus error.
+   A bus error is the hardware answering "that memory is gone" (node
+   dead); a timeout is silence — the peer may be alive on the far side. *)
+let partitioned (sys : Types.system) (reader : Types.cell) ~target =
+  let sips = Flash.Machine.sips sys.Types.machine in
+  let rb = Types.boss_proc reader in
+  let tb = Types.boss_proc sys.Types.cells.(target) in
+  (not (Flash.Sips.reachable sips ~from_node:rb ~to_node:tb))
+  || not (Flash.Sips.reachable sips ~from_node:tb ~to_node:rb)
+
 let protect (sys : Types.system) (reader : Types.cell) ~target f =
   let p = sys.Types.params in
   Sim.Engine.delay p.Params.careful_on_ns;
   Types.bump reader "careful_ref.enter";
   let ctx = { sys; reader; target; hops = 0 } in
   let result =
-    match f ctx with
+    match
+      if partitioned sys reader ~target then
+        raise (Careful_abort (Unreachable target))
+      else f ctx
+    with
     | v ->
       Sim.Engine.delay p.Params.careful_check_ns;
       Ok v

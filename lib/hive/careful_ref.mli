@@ -22,7 +22,16 @@ type failure_reason =
   | Bus_fault of int
   | Loop_detected
   | Bad_value of string
+  | Unreachable of int
+      (** the interconnect to the target cell is partitioned: the remote
+          read times out rather than bus-faulting — distinguishable from
+          dead hardware, which answers with an error, not silence *)
 exception Careful_abort of failure_reason
+
+(** True when a blackout window currently severs either direction between
+    the reader and the target (remote reads need the request to travel one
+    way and the data the other). *)
+val partitioned : Types.system -> Types.cell -> target:Types.cell_id -> bool
 type ctx = {
   sys : Types.system;
   reader : Types.cell;

@@ -18,6 +18,7 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     cell_nodes = nodes;
     boss_node = boss;
     cstatus = Types.Cell_up;
+    mem_alive = false;
     live_set = [];
     page_hash = Hashtbl.create 1024;
     frames = Hashtbl.create 1024;

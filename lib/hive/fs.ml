@@ -314,6 +314,11 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
   let fid = Types.vnode_fid vnode in
   let lid = { Types.tag = Types.File_obj fid; page } in
   match Pfdat.lookup c lid with
+  | Some pf when writable && pf.Types.salvaged_from <> None ->
+    (* A salvaged copy is read-only: its data home is down, so a write
+       must fail exactly as a locate RPC to the dead home would, instead
+       of dirtying a local copy that is purged at reintegration. *)
+    Error Types.EIO
   | Some pf
     when (not writable)
          || pf.Types.imported_from = None

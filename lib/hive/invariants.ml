@@ -492,8 +492,58 @@ let check_import_cache (sys : Types.system) ~cells =
 
 (* ---------- entry point ---------- *)
 
+(* ---------- split-brain oracle ---------- *)
+
+(* Never two concurrent live recovery masters. Overlaps are latched the
+   instant a second master begins ([Types.master_begin]), so a transient
+   dual-master window is reported even if one side stood down (or died)
+   long before the run quiesced. A residual master entry for a live cell
+   outside any recovery is also a leak of mastership. *)
+let check_single_master (sys : Types.system) =
+  let bad = ref [] in
+  List.iter
+    (fun detail -> bad := { inv = "single-master"; detail } :: !bad)
+    sys.Types.master_overlaps;
+  if not sys.Types.recovery_in_progress then
+    List.iter
+      (fun id ->
+        if Types.cell_alive sys.Types.cells.(id) then
+          bad :=
+            v "single-master"
+              "cell %d still holds recovery mastership outside any recovery"
+              id
+            :: !bad)
+      sys.Types.masters_active;
+  List.rev !bad
+
+(* ---------- salvage coherence ---------- *)
+
+(* A salvaged page is only valid while its data home stays down: nobody
+   can write file data whose home is dead, so the local copy cannot go
+   stale. The reintegration path must purge every salvaged binding for
+   the rebooting home; one surviving it would serve dead data after the
+   home's disk-backed generations move on. *)
+let check_salvage (sys : Types.system) ~cells =
+  let bad = ref [] in
+  List.iter
+    (fun (c : Types.cell) ->
+      Pfdat.iter_pages c (fun pf ->
+          match pf.Types.salvaged_from with
+          | Some h when Types.cell_alive sys.Types.cells.(h) ->
+            bad :=
+              v "salvage" "cell %d pfn %d: salvaged from cell %d which is live again"
+                c.Types.cell_id pf.Types.pfn h
+              :: !bad
+          | _ -> ()))
+    cells;
+  List.rev !bad
+
 let check ?(exempt = []) (sys : Types.system) =
-  if sys.Types.recovery_in_progress then []
+  (* The split-brain latch is checked unconditionally: it records
+     violations that already happened, so an in-flight recovery is no
+     excuse to look away. *)
+  let sb = check_single_master sys in
+  if sys.Types.recovery_in_progress then sb
   else begin
     (* Per-cell checks skip the exempt cells: deliberate corruption of a
        cell's own state is the injected fault, not a containment failure;
@@ -511,4 +561,6 @@ let check ?(exempt = []) (sys : Types.system) =
     @ check_rpc_at_most_once sys
     @ check_rpc_epochs sys
     @ check_import_cache sys ~cells:scan
+    @ check_salvage sys ~cells:scan
+    @ sb
   end

@@ -57,3 +57,18 @@ val check_rpc_epochs : Types.system -> violation list
     tests. *)
 val check_import_cache :
   Types.system -> cells:Types.cell list -> violation list
+
+(** The split-brain oracle: no two cells may ever hold recovery
+    mastership concurrently while both are live. Overlap windows are
+    latched continuously by {!Types.master_begin} (via the event bus),
+    so this reports dual-master instants that closed long before the
+    quiesce point; it also flags a live cell still holding mastership
+    outside any recovery. Checked by {!check} unconditionally — even
+    while recovery is in progress. *)
+val check_single_master : Types.system -> violation list
+
+(** Salvaged-page coherence: a binding salvaged from a dead home's
+    still-readable memory must not survive that home's reintegration.
+    Included in {!check}; exposed for targeted tests. *)
+val check_salvage :
+  Types.system -> cells:Types.cell list -> violation list

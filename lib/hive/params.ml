@@ -74,6 +74,16 @@ type t = {
   recovery_scan_page_ns : int64;
   recovery_phase_ns : int64;
   agreement_vote_ns : int64;
+  agreement_quorum_check : bool;
+      (* under a partition, an accuser whose reachable side is not a strict
+         majority of its live set must stand down instead of confirming
+         (false only in runs proving the single-master checker has teeth) *)
+  enable_salvage : bool;
+      (* when a cell's processors die but its memory stays readable
+         (Cpu_dead_mem_alive), survivors copy generation-clean, wild-write-
+         filtered imported pages into local frames instead of dropping the
+         bindings (ablation knob for the salvage-vs-discard A/B) *)
+  salvage_copy_ns : int64; (* per-page remote-read-and-copy cost *)
   (* Wax *)
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
@@ -136,6 +146,9 @@ let default =
     recovery_scan_page_ns = 400L;
     recovery_phase_ns = 14_000_000L;
     agreement_vote_ns = 50_000L;
+    agreement_quorum_check = true;
+    enable_salvage = true;
+    salvage_copy_ns = 9_000L;
     wax_period_ns = 100_000_000L;
     wax_scan_cost_ns = 50_000L;
     enable_import_cache = true;

@@ -52,6 +52,9 @@ type t = {
   recovery_scan_page_ns : int64;
   recovery_phase_ns : int64;
   agreement_vote_ns : int64;
+  agreement_quorum_check : bool;
+  enable_salvage : bool;
+  salvage_copy_ns : int64;
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
   enable_import_cache : bool;

@@ -22,6 +22,7 @@ let make ~pfn ~table_cell : Types.pfdat =
     extended = false;
     cached = false;
     import_gen = 0;
+    salvaged_from = None;
   }
 
 (* Find or create the pfdat for a frame in this cell's table. *)

@@ -30,6 +30,10 @@ let start_op = Rpc.Op.declare "recovery.start"
 
 let diagnostics_ns = 18_000_000L
 
+(* Poll period while waiting for a partition to heal so an excised
+   still-running cell can be stopped and reintegrated. *)
+let reclaim_poll_ns = 50_000_000L
+
 (* The per-cell recovery algorithm, run in its own kernel thread. It loops
    until it completes a round that is still the current one: any barrier
    abort (or a round-counter change observed after a barrier) means a
@@ -40,6 +44,14 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) =
   let eng = sys.Types.eng in
   sys.Types.recovery_events <-
     (c.Types.cell_id, Sim.Engine.now eng) :: sys.Types.recovery_events;
+  (* Mastership spans the whole round INCLUDING deferred reclamation: a
+     confirmed-dead cell still running behind a partition remains this
+     master's responsibility until the heal lets it be stopped and
+     rebooted, so master_end must wait for the last deferred reclaim. *)
+  let deferred_reclaims = ref 0 in
+  let release_mastership () =
+    if !deferred_reclaims = 0 then Types.master_end sys c.Types.cell_id
+  in
   let rec round () =
     let round_no = sys.Types.recovery_round in
     let dead = sys.Types.recovery_dead in
@@ -55,6 +67,10 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) =
        of them is the system's. *)
     let min_live = List.fold_left min max_int c.Types.live_set in
     let is_master = c.Types.cell_id = min_live in
+    (* Latch mastership the instant it is assumed: the split-brain oracle
+       ([Invariants.check_single_master]) sees every overlap window, even
+       one that closes before the run quiesces. *)
+    if is_master then Types.master_begin sys c.Types.cell_id;
     let note phase =
       if is_master then Types.note_phase sys ~cell:c.Types.cell_id phase
     in
@@ -75,12 +91,13 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) =
       else begin
         (* Defensive: an abort without a restart (or our own death) must
            not leave the cell gated forever. *)
+        Types.master_end sys c.Types.cell_id;
         c.Types.in_recovery <- false;
         if Types.cell_alive c then Gate.open_ sys c
       end
     in
     (* Phase 1: TLB flush + removal of remote mappings and import bindings. *)
-    Vm.flush_remote_bindings sys c;
+    Vm.flush_remote_bindings ~dead sys c;
     Sim.Engine.delay p.Params.recovery_phase_ns;
     match await 1 b1 with
     | Sim.Barrier.Aborted -> restart ()
@@ -127,40 +144,115 @@ let recovery_sequence (sys : Types.system) (c : Types.cell) =
           note "recovery.resume";
           (* The recovery master finishes the round. *)
           if is_master then begin
-            (* Diagnose the failed nodes' hardware. *)
-            Sim.Engine.delay diagnostics_ns;
-            if sys.Types.recovery_round <> round_no then
-              (* A participant died while diagnostics ran: rejoin the
-                 restarted round. *)
-              round ()
+            (* A master that can no longer reach a strict majority of the
+               new live set is on the minority side of a partition that
+               armed mid-round; finishing here would run concurrently
+               with the majority's master. Stand down instead. *)
+            let reachable_live =
+              List.filter
+                (fun id ->
+                  id = c.Types.cell_id
+                  || not (Careful_ref.partitioned sys c ~target:id))
+                c.Types.live_set
+            in
+            if
+              p.Params.agreement_quorum_check
+              && List.length reachable_live * 2 <= List.length c.Types.live_set
+            then begin
+              Types.sys_bump sys "recovery.master_standdown";
+              Types.note_phase sys ~cell:c.Types.cell_id
+                "recovery.master_standdown";
+              Types.master_end sys c.Types.cell_id;
+              Panic.panic sys c "partition: recovery master lost quorum"
+            end
             else begin
-              (* Diagnostics passed: repair and reintegrate every failed
-                 cell, then declare the recovery over. *)
-              (if p.Params.auto_reintegrate then
-                 List.iter
-                   (fun d ->
-                     if sys.Types.cells.(d).Types.cstatus = Types.Cell_down
+              (* Diagnose the failed nodes' hardware. *)
+              Sim.Engine.delay diagnostics_ns;
+              if sys.Types.recovery_round <> round_no then
+                (* A participant died while diagnostics ran: rejoin the
+                   restarted round. *)
+                round ()
+              else begin
+                (* Diagnostics passed: repair and reintegrate every failed
+                   cell, then declare the recovery over. A confirmed-dead
+                   cell still running on the far side of a partition cannot
+                   be stopped or rebooted yet: leave it excised and poll
+                   until the partition heals, then stop it and reboot it
+                   into the new live set — healed halves reconcile into one
+                   live set instead of two. *)
+                (if p.Params.auto_reintegrate then begin
+                   let reintegrate_now d =
+                     Types.note_phase sys ~cell:c.Types.cell_id
+                       "recovery.reintegrate";
+                     Types.sys_bump sys "recovery.reintegrated";
+                     match sys.Types.reintegrate_fn with
+                     | Some f -> f d
+                     | None -> ()
+                   in
+                   let rec reclaim d =
+                     let dc = sys.Types.cells.(d) in
+                     if Types.cell_alive c && not (List.mem d c.Types.live_set)
                      then begin
-                       Types.note_phase sys ~cell:c.Types.cell_id
-                         "recovery.reintegrate";
-                       Types.sys_bump sys "recovery.reintegrated";
-                       match sys.Types.reintegrate_fn with
-                       | Some f -> f d
-                       | None -> ()
-                     end)
-                   (List.sort compare dead));
-              sys.Types.recovery_complete_at <- Sim.Engine.now eng;
-              sys.Types.recovery_round_active <- false;
-              sys.Types.recovery_in_progress <- false;
-              Types.sys_bump sys "recovery.completed";
-              match sys.Types.wax_restart with
-              | Some f -> f sys
-              | None -> ()
+                       if
+                         dc.Types.cstatus <> Types.Cell_down
+                         && Careful_ref.partitioned sys c ~target:d
+                       then
+                         Sim.Engine.schedule eng ~after:reclaim_poll_ns
+                           (fun () -> reclaim d)
+                       else begin
+                         if dc.Types.cstatus <> Types.Cell_down then
+                           Panic.panic sys dc
+                             "partition healed: stopped for reintegration";
+                         reintegrate_now d;
+                         decr deferred_reclaims;
+                         release_mastership ()
+                       end
+                     end
+                     else begin
+                       (* Someone else reclaimed it (or we died): done. *)
+                       decr deferred_reclaims;
+                       release_mastership ()
+                     end
+                   in
+                   List.iter
+                     (fun d ->
+                       let dc = sys.Types.cells.(d) in
+                       if dc.Types.cstatus = Types.Cell_down then
+                         reintegrate_now d
+                       else if not (Careful_ref.partitioned sys c ~target:d)
+                       then begin
+                         Panic.panic sys dc
+                           "declared failed by distributed agreement";
+                         reintegrate_now d
+                       end
+                       else begin
+                         Types.note_phase sys ~cell:c.Types.cell_id
+                           "recovery.reclaim_deferred";
+                         incr deferred_reclaims;
+                         Sim.Engine.schedule eng ~after:reclaim_poll_ns
+                           (fun () -> reclaim d)
+                       end)
+                     (List.sort compare dead)
+                 end);
+                sys.Types.recovery_complete_at <- Sim.Engine.now eng;
+                sys.Types.recovery_round_active <- false;
+                sys.Types.recovery_in_progress <- false;
+                Types.sys_bump sys "recovery.completed";
+                release_mastership ();
+                match sys.Types.wax_restart with
+                | Some f -> f sys
+                | None -> ()
+              end
             end
           end
         end)
   in
   round ();
+  (* Whatever path ended the loop, this cell holds no mastership beyond
+     any still-deferred reclaims (no-op for non-masters; killed threads
+     never get here and are handled by the liveness filter in
+     [Types.master_begin]). *)
+  release_mastership ();
   c.Types.recovery_active <- false
 
 let start_recovery_thread (sys : Types.system) (c : Types.cell) =
@@ -186,22 +278,41 @@ let make_barriers (sys : Types.system) parties =
   sys.Types.recovery_barrier2 <- Some (Sim.Barrier.create (max 1 parties))
 
 (* Kick off a recovery round for the confirmed dead set. Called on the
-   accusing cell after agreement (or directly by the failure oracle). *)
-let initiate (sys : Types.system) ~dead =
+   accusing cell after agreement (or directly by the failure oracle).
+   [by] names the initiating cell: under a partition only the cells it
+   can reach participate in the round — the far side cannot hear the
+   barriers and would deadlock them, and a "dead" cell that is merely
+   unreachable cannot be stopped from here (it stays running, excised
+   from the survivors' live sets until the partition heals). *)
+let initiate ?by (sys : Types.system) ~dead =
   sys.Types.recovery_in_progress <- true;
   sys.Types.recovery_dead <- dead;
   sys.Types.recovery_round <- sys.Types.recovery_round + 1;
   sys.Types.recovery_round_active <- true;
   Types.sys_bump sys "recovery.initiated";
+  let unreachable_from_initiator target =
+    match by with
+    | None -> false
+    | Some b -> Careful_ref.partitioned sys sys.Types.cells.(b) ~target
+  in
   (* Force any "dead" cell that is in fact still running (erratic kernel)
      to stop: the confirmed consensus supersedes its own opinion. *)
   List.iter
     (fun d ->
       let dc = sys.Types.cells.(d) in
       if dc.Types.cstatus <> Types.Cell_down then
-        Panic.panic sys dc "declared failed by distributed agreement")
+        if unreachable_from_initiator d then
+          Types.sys_bump sys "recovery.excised_unreachable"
+        else Panic.panic sys dc "declared failed by distributed agreement")
     dead;
-  let live = live_participants sys in
+  let live =
+    live_participants sys
+    |> List.filter (fun (c : Types.cell) ->
+           (match by with None -> true | Some b -> c.Types.cell_id = b)
+           || not (unreachable_from_initiator c.Types.cell_id))
+  in
+  sys.Types.recovery_participants <-
+    List.map (fun (c : Types.cell) -> c.Types.cell_id) live;
   make_barriers sys (List.length live);
   List.iter (fun c -> start_recovery_thread sys c) live
 
@@ -227,7 +338,16 @@ let cell_died (sys : Types.system) id =
       "cell %d died during recovery round %d: restarting with enlarged dead \
        set"
       id sys.Types.recovery_round;
-    let live = live_participants sys in
+    (* Restart among the cells already in the round: a live cell outside
+       the old participant set (e.g. on the far side of a partition) must
+       not be counted into barriers it will never reach. *)
+    let live =
+      live_participants sys
+      |> List.filter (fun (c : Types.cell) ->
+             List.mem c.Types.cell_id sys.Types.recovery_participants)
+    in
+    sys.Types.recovery_participants <-
+      List.map (fun (c : Types.cell) -> c.Types.cell_id) live;
     let old1 = sys.Types.recovery_barrier1 in
     let old2 = sys.Types.recovery_barrier2 in
     make_barriers sys (List.length live);

@@ -34,8 +34,13 @@ val start_recovery_thread : Types.system -> Types.cell -> unit
 
 (** Start a recovery round for the confirmed dead set: force still-running
     "dead" cells to stop, create the round barriers, and start a recovery
-    thread on every live participant. *)
-val initiate : Types.system -> dead:Types.cell_id list -> unit
+    thread on every live participant. [by] names the initiating cell;
+    when given, participation is limited to the cells it can reach — a
+    "dead" cell that is merely partitioned away stays running (excised
+    from the survivors' live sets) and is stopped and reintegrated by the
+    recovery master once the partition heals. *)
+val initiate :
+  ?by:Types.cell_id -> Types.system -> dead:Types.cell_id list -> unit
 
 (** Notify recovery that a cell has died. A no-op unless a round is in
     flight and the cell was a participant, in which case the round restarts

@@ -512,7 +512,15 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
             end
         end
     in
-    attempt 0
+    match attempt 0 with
+    | outcome -> outcome
+    | exception e ->
+      (* The calling thread is being torn down (killed by recovery or a
+         panic) while the call is in flight: drop its bookkeeping so the
+         entry cannot linger as a phantom orphan in the pending-call
+         table. *)
+      Hashtbl.remove from.Types.pending_calls call_id;
+      raise e
   end
 
 (* Convenience wrapper raising Syscall_error on failure. *)

@@ -31,6 +31,34 @@ let reintegrate (sys : Types.system) cell_id =
   let c = sys.Types.cells.(cell_id) in
   if c.Types.cstatus <> Types.Cell_down then
     invalid_arg "reintegrate: cell is not down";
+  (* Survivors' salvaged copies of this cell's pages become stale the
+     moment it reboots (file generations restart from disk): purge them
+     and their mappings so the next access re-locates through the fresh
+     data home. *)
+  c.Types.mem_alive <- false;
+  Array.iter
+    (fun (o : Types.cell) ->
+      if o.Types.cell_id <> cell_id && Types.cell_alive o then begin
+        let doomed = ref [] in
+        Pfdat.iter_pages o (fun pf ->
+            if pf.Types.salvaged_from = Some cell_id then
+              doomed := pf :: !doomed);
+        List.iter
+          (fun (pf : Types.pfdat) ->
+            List.iter
+              (fun (p : Types.process) ->
+                let stale = ref [] in
+                Hashtbl.iter
+                  (fun vpage (m : Types.mapping) ->
+                    if m.Types.map_pf == pf then stale := vpage :: !stale)
+                  p.Types.mappings;
+                List.iter (Hashtbl.remove p.Types.mappings) !stale)
+              o.Types.processes;
+            Types.bump o "vm.salvage_purged";
+            Page_alloc.free_frame sys o pf)
+          !doomed
+      end)
+    sys.Types.cells;
   (* Repair the hardware: memory zeroed, processor restarted. *)
   List.iter (Flash.Machine.restore_node sys.Types.machine) c.Types.cell_nodes;
   (* Fresh kernel state; files (and their stable disk contents) survive,
@@ -119,6 +147,9 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       recovery_dead = [];
       recovery_round = 0;
       recovery_round_active = false;
+      recovery_participants = [];
+      masters_active = [];
+      master_overlaps = [];
       on_cell_death = None;
       reintegrate_fn = None;
       wax_restart = None;
@@ -208,6 +239,16 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
 (* Fail-stop hardware fault: halt a node (and thereby its cell). *)
 let inject_node_failure (sys : Types.system) node =
   Flash.Machine.fail_node sys.Types.machine node
+
+(* CXL-style processor failure: the node's CPU halts (fail-stopping its
+   cell via the node-failure listener, exactly like [inject_node_failure])
+   but the memory controller keeps answering remote reads. Survivors see
+   a readable-but-frozen clock word, classify the cell as hard-dead, and
+   may salvage its clean exported pages during recovery. *)
+let inject_cpu_failure (sys : Types.system) node =
+  let c = Types.cell_of_node sys node in
+  if Types.cell_alive c then c.Types.mem_alive <- true;
+  Flash.Machine.fail_node_cpu sys.Types.machine node
 
 (* Kernel data corruption: overwrite a pointer field of a COW-tree node in
    [cell]'s kernel memory, in one of the pathological modes of

@@ -16,6 +16,11 @@ val boot :
   ?multicellular:bool ->
   ?oracle:bool -> ?wax:bool -> Sim.Engine.t -> Types.system
 val inject_node_failure : Types.system -> int -> unit
+
+(** CXL-style processor failure: halts the node's CPU (fail-stopping its
+    cell) while its memory banks keep answering remote reads, enabling
+    page salvage during the ensuing recovery. *)
+val inject_cpu_failure : Types.system -> int -> unit
 type corruption_mode =
     Random_address
   | Off_by_one_word

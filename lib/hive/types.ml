@@ -71,6 +71,10 @@ type pfdat = {
       (* file generation the data home reported when this binding was
          imported; a parked binding is only valid while the home's
          generation still equals it *)
+  mutable salvaged_from : cell_id option;
+      (* client side: a local copy of a clean page rescued from a dead
+         cell whose memory outlived its processors; dropped when that
+         home reintegrates *)
 }
 
 (* A file homed on some cell. [disk_block] is its start block on the data
@@ -207,6 +211,9 @@ type cell = {
   cell_nodes : int list; (* node ids owned throughout execution *)
   boss_node : int; (* first node: hosts published kernel data *)
   mutable cstatus : cell_status;
+  mutable mem_alive : bool;
+      (* Cell_down but the nodes' memory still answers remote reads: the
+         CXL pooled-memory failure mode (processors dead, memory alive) *)
   mutable live_set : cell_id list; (* cells this cell believes are up *)
   (* pfdat tables *)
   page_hash : (logical_id, pfdat) Hashtbl.t;
@@ -292,6 +299,17 @@ type system = {
   mutable recovery_dead : cell_id list;
   mutable recovery_round : int;
   mutable recovery_round_active : bool;
+  mutable recovery_participants : cell_id list;
+      (* survivors driving the current recovery; a partitioned accuser that
+         cannot reach any of them must run its own agreement round rather
+         than silently deferring to a recovery it cannot observe *)
+  (* Split-brain oracle state: which cells currently hold recovery
+     mastership, and every instant at which two held it concurrently.
+     Latched continuously (at master_begin time, via the event bus), not
+     recomputed post-quiesce, so a transient dual-master window can never
+     escape the checker by standing down before the run ends. *)
+  mutable masters_active : cell_id list;
+  mutable master_overlaps : string list;
   mutable on_cell_death : (cell_id -> unit) option;
       (* panic/hardware-failure hook: lets an in-flight recovery round
          restart with an enlarged dead set when a participant dies *)
@@ -359,3 +377,38 @@ let note_phase (sys : system) ?cell phase =
   let t = Sim.Engine.now sys.eng in
   sys.recovery_timeline <- sys.recovery_timeline @ [ (phase, t) ];
   Sim.Event.instant sys.events ?cell ~cat:Sim.Event.Recovery phase
+
+(* Recovery-mastership latch: the split-brain oracle. [master_begin] is
+   called the instant a cell assumes mastership of a recovery round; if
+   any other cell still holds mastership the overlap is latched right
+   here — the invariant checker later reports it even if one master has
+   long since stood down. *)
+let master_begin (sys : system) (cell_id : cell_id) =
+  let t = Sim.Engine.now sys.eng in
+  (* A master whose cell has since been killed never ran [master_end];
+     its stale latch must not count as a concurrent live master. *)
+  sys.masters_active <-
+    List.filter (fun id -> cell_alive (cell sys id)) sys.masters_active;
+  List.iter
+    (fun other ->
+      if other <> cell_id then
+        sys.master_overlaps <-
+          sys.master_overlaps
+          @ [
+              Printf.sprintf
+                "cells %d and %d were concurrent recovery masters at t=%Ldns"
+                other cell_id t;
+            ])
+    sys.masters_active;
+  if not (List.mem cell_id sys.masters_active) then
+    sys.masters_active <- sys.masters_active @ [ cell_id ];
+  note_phase sys ~cell:cell_id
+    (Printf.sprintf "recovery.master_begin.cell%d" cell_id)
+
+let master_end (sys : system) (cell_id : cell_id) =
+  if List.mem cell_id sys.masters_active then begin
+    sys.masters_active <-
+      List.filter (fun id -> id <> cell_id) sys.masters_active;
+    note_phase sys ~cell:cell_id
+      (Printf.sprintf "recovery.master_end.cell%d" cell_id)
+  end

@@ -357,10 +357,79 @@ let unmap_all (sys : Types.system) (p : Types.process) =
         && not pf.Types.cached (* parked bindings are already released *)
       then Sim.Mailbox.send sys.Types.eng c.Types.release_queue pf)
 
+(* CXL-style memory salvage: when a failed cell's processors died but its
+   memory banks still answer reads (Cpu_dead_mem_alive), a survivor may
+   copy clean imported file pages into local frames instead of discarding
+   the bindings and re-reading from disk after reintegration. Only pages
+   that provably cannot have been corrupted qualify: the home's pfdat
+   must still bind the same logical page at the same frame, clean on both
+   sides, with write granted to nobody (so the firewall never let any
+   processor scribble on it — the wild-write filter), and the home file's
+   generation must not have advanced past the import's. The copy is
+   served read-only and purged when the home reintegrates. *)
+let try_salvage (sys : Types.system) (c : Types.cell) (pf : Types.pfdat)
+    ~home =
+  let par = sys.Types.params in
+  let hc = sys.Types.cells.(home) in
+  if not (par.Params.enable_salvage && hc.Types.mem_alive) then None
+  else
+    match pf.Types.lid with
+    | Some ({ Types.tag = Types.File_obj fid; page = _ } as lid)
+      when fid.Types.home = home
+           && (not pf.Types.dirty)
+           && pf.Types.borrowed_from = None
+           && pf.Types.loaned_to = None -> (
+      match Pfdat.lookup hc lid with
+      | Some hpf
+        when hpf.Types.pfn = pf.Types.pfn
+             && (not hpf.Types.dirty)
+             && hpf.Types.write_granted_to = []
+             && Flash.Memory.node_accessible (mem sys)
+                  (Flash.Addr.node_of_pfn sys.Types.mcfg hpf.Types.pfn)
+             && (match
+                   Hashtbl.find_opt hc.Types.files_by_ino fid.Types.ino
+                 with
+                | Some f -> f.Types.generation <= pf.Types.import_gen
+                | None -> false) -> (
+        (* Take a strictly local free frame; under memory pressure the
+           salvage is skipped rather than evicting anything mid-recovery. *)
+        let local_free =
+          List.find_opt
+            (fun pfn ->
+              List.mem
+                (Flash.Addr.node_of_pfn sys.Types.mcfg pfn)
+                c.Types.cell_nodes)
+            c.Types.free_frames
+        in
+        match local_free with
+        | None ->
+          Types.bump c "vm.salvage_skipped";
+          None
+        | Some pfn ->
+          c.Types.free_frames <-
+            List.filter (fun q -> q <> pfn) c.Types.free_frames;
+          Sim.Engine.delay par.Params.salvage_copy_ns;
+          let data =
+            Flash.Memory.peek (mem sys)
+              (frame_addr sys hpf.Types.pfn)
+              (page_size sys)
+          in
+          let npf = Pfdat.of_frame c pfn in
+          Flash.Memory.poke (mem sys) (frame_addr sys pfn) data;
+          npf.Types.import_gen <- pf.Types.import_gen;
+          Some (lid, npf))
+      | _ ->
+        Types.bump c "vm.salvage_skipped";
+        None)
+    | _ -> None
+
 (* TLB flush + removal of all remote mappings and import bindings: the
    pre-barrier-1 step of recovery. A future access to any remote page will
-   fault and send an RPC to the page's owner, where it can be checked. *)
-let flush_remote_bindings (sys : Types.system) (c : Types.cell) =
+   fault and send an RPC to the page's owner, where it can be checked.
+   [dead] names the confirmed-dead cells of the round: clean imports from
+   a dead home whose memory outlived its processors are salvaged into
+   local frames (see [try_salvage]) instead of discarded. *)
+let flush_remote_bindings ?(dead = []) (sys : Types.system) (c : Types.cell) =
   List.iter
     (fun (p : Types.process) ->
       let doomed = ref [] in
@@ -380,12 +449,29 @@ let flush_remote_bindings (sys : Types.system) (c : Types.cell) =
           Hashtbl.remove p.Types.mappings vpage)
         !doomed)
     c.Types.processes;
-  (* Drop every import binding; re-faults go back through the data home. *)
+  (* Drop every import binding; re-faults go back through the data home.
+     Imports from a dead-but-memory-alive home are copied out first when
+     they pass the salvage filter. *)
   let imports = ref [] in
   Pfdat.iter_pages c (fun pf ->
       if pf.Types.extended && pf.Types.imported_from <> None then
         imports := pf :: !imports);
-  List.iter (fun pf -> Share.drop_import c pf) !imports;
+  List.iter
+    (fun (pf : Types.pfdat) ->
+      let salvaged =
+        match pf.Types.imported_from with
+        | Some home when List.mem home dead -> try_salvage sys c pf ~home
+        | _ -> None
+      in
+      let home = pf.Types.imported_from in
+      Share.drop_import c pf;
+      match (salvaged, home) with
+      | Some (lid, npf), Some h ->
+        npf.Types.salvaged_from <- Some h;
+        Pfdat.insert c lid npf;
+        Types.bump c "vm.salvaged_pages"
+      | _ -> ())
+    !imports;
   (* No parked binding may survive recovery: a data home may be dead or
      about to bump generations, and the post-recovery world re-locates
      everything from scratch. drop_import already unparked each binding;

@@ -58,7 +58,14 @@ val read_word :
   Types.process ->
   vpage:int -> offset:int -> (int64, Types.errno) result
 val unmap_all : Types.system -> Types.process -> unit
-val flush_remote_bindings : Types.system -> Types.cell -> unit
+
+(** Pre-barrier-1 recovery step. [dead] names the round's confirmed-dead
+    cells: clean, generation-matched, never-write-granted file imports
+    from a dead home whose memory banks still answer reads are copied
+    into local frames ("salvaged", served read-only until the home
+    reintegrates) instead of discarded. *)
+val flush_remote_bindings :
+  ?dead:Types.cell_id list -> Types.system -> Types.cell -> unit
 val preemptive_discard :
   Types.system -> Types.cell -> dead:Types.cell_id list -> int
 val registered : bool ref

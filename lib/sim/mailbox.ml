@@ -53,6 +53,19 @@ let clear m =
   Queue.clear m.queue;
   n
 
+(* Selectively discard queued messages matching [p], preserving the order
+   of survivors: used when a healed partition resets only the envelopes
+   that originated behind the blackout. *)
+let reject m p =
+  let keep = Queue.create () in
+  let dropped = ref 0 in
+  Queue.iter
+    (fun x -> if p x then incr dropped else Queue.push x keep)
+    m.queue;
+  Queue.clear m.queue;
+  Queue.transfer keep m.queue;
+  !dropped
+
 (* Drop tombstones once they outnumber the live waiters (with a small
    floor), keeping the cost amortized O(1) per abandoned wait. *)
 let purge m =

@@ -27,6 +27,10 @@ val try_receive : 'a t -> 'a option
     were dropped. Models a hardware queue reset. *)
 val clear : 'a t -> int
 
+(** Discard queued messages matching the predicate, preserving the order
+    of survivors; returns how many were dropped. Waiters are untouched. *)
+val reject : 'a t -> ('a -> bool) -> int
+
 (** Blocking receive; [None] on timeout. *)
 val receive : ?timeout:int64 -> Engine.t -> 'a t -> 'a option
 

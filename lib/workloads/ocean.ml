@@ -86,6 +86,13 @@ let worker cfg ~w ~barrier ~sums (sys : Hive.Types.system)
     (p : Hive.Types.process) =
   let ncells = Array.length sys.Hive.Types.cells in
   let eng = sys.Hive.Types.eng in
+  (* A worker that dies — killed with its cell, torn down by recovery, or
+     aborted on a syscall error — leaves the step barrier so the surviving
+     workers are released instead of waiting forever on a party that will
+     never arrive. A normal exit happens after the final await, where
+     shrinking the barrier is harmless. *)
+  Fun.protect ~finally:(fun () -> Sim.Barrier.remove_party eng barrier)
+  @@ fun () ->
   (* Map every chunk writable; our own is local, neighbours' remote. *)
   let regions =
     Array.init cfg.workers (fun v ->
@@ -142,7 +149,11 @@ let driver cfg sums (sys : Hive.Types.system) (p : Hive.Types.process) =
         (worker cfg ~w ~barrier ~sums)
     with
     | Ok c -> children := c :: !children
-    | Error _ -> ()
+    | Error _ ->
+      (* The worker's cell is down (or died mid-fork): it will never
+         arrive at the step barrier, so shrink the barrier now or the
+         workers that did start would wait on it forever. *)
+      Sim.Barrier.remove_party sys.Hive.Types.eng barrier
   done;
   List.iter (fun c -> ignore (Hive.Process.wait sys p c)) !children;
   let total = Array.fold_left Int64.add 0L sums in

@@ -7,6 +7,7 @@ let () =
       ("fs", Test_fs.suite);
       ("vm-cow", Test_vm_cow.suite);
       ("recovery", Test_recovery.suite);
+      ("partition", Test_partition.suite);
       ("rpc", Test_rpc.suite);
       ("careful", Test_careful.suite);
       ("sharing", Test_sharing.suite);
