@@ -179,6 +179,44 @@ let run_workload name shape verbose output =
   finish_observability sys ~trace_close ~output;
   0
 
+(* ---- server command: interactive traffic served through failure ---- *)
+
+let run_server shape duration_ms rate zipf churn_pct deadline_ms kill_cell
+    kill_at_ms seed verbose output =
+  if verbose then Sim.Trace.set_level Sim.Trace.Info;
+  let _eng, sys, ncells = boot_shape shape in
+  let trace_close = attach_trace sys output.out_trace in
+  (match kill_cell with
+  | Some c when c < 0 || c >= ncells ->
+    failwith (Printf.sprintf "--kill-cell %d: no such cell" c)
+  | _ -> ());
+  let cfg =
+    {
+      Workloads.Server.default with
+      duration_ms;
+      rate_rps = rate;
+      zipf_s = zipf;
+      churn_pct;
+      deadline_ms;
+      fault =
+        Option.map
+          (fun c -> { Workloads.Server.kill_cell = c; at_ms = kill_at_ms })
+          kill_cell;
+      seed;
+    }
+  in
+  let result, stats = Workloads.Server.run ~cfg sys in
+  Workloads.Server.print_stats stats;
+  Printf.printf "server on %s (%d cell%s): %.3f s simulated%s\n"
+    (if shape.sh_smp then "SMP-OS baseline" else "Hive")
+    ncells
+    (if ncells = 1 then "" else "s")
+    (Workloads.Workload.ns_to_s result.Workloads.Workload.elapsed_ns)
+    (if result.Workloads.Workload.completed then "" else "  [INCOMPLETE]");
+  if verbose then print_counters sys;
+  finish_observability sys ~trace_close ~output;
+  if result.Workloads.Workload.completed then 0 else 1
+
 (* ---- sweep command: thin wrapper over the Bench.Sweep registry ---- *)
 
 let run_sweep workload shape areas quick out_dir =
@@ -639,6 +677,69 @@ let jobs_arg =
            worker owns a private single-threaded simulation engine). \
            Output is byte-identical to --jobs 1 for any N.")
 
+let duration_ms_arg =
+  Arg.(
+    value & opt int 3000
+    & info [ "duration-ms" ] ~docv:"MS"
+        ~doc:"Traffic duration in simulated milliseconds.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 80.
+    & info [ "rate" ] ~docv:"RPS"
+        ~doc:"System-wide open-loop arrival rate (requests/s).")
+
+let zipf_arg =
+  Arg.(
+    value & opt float 1.1
+    & info [ "zipf" ] ~docv:"S"
+        ~doc:"Zipf exponent for file popularity.")
+
+let churn_pct_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "churn-pct" ] ~docv:"PCT"
+        ~doc:"Percent of arrivals that are fork/exit churn requests.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 250
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"End-to-end client deadline budget per request.")
+
+let kill_cell_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill-cell" ] ~docv:"CELL"
+        ~doc:"Fail-stop CELL mid-traffic to measure serving through failure.")
+
+let kill_at_ms_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "kill-at-ms" ] ~docv:"MS"
+        ~doc:"When to kill the cell (simulated ms from traffic start).")
+
+let traffic_seed_arg =
+  Arg.(
+    value & opt int64 0x5EEDL
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"PRNG seed for arrivals, popularity and churn draws.")
+
+let server_cmd =
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:
+         "Interactive time-sharing traffic served through failure: \
+          open-loop Poisson arrivals with Zipf file popularity and \
+          fork/exit churn, deadline-budgeted client retries, per-cell \
+          admission control, and per-phase tail latency (before / during \
+          / after an optional cell kill).")
+    Term.(
+      const run_server $ shape_term $ duration_ms_arg $ rate_arg $ zipf_arg
+      $ churn_pct_arg $ deadline_ms_arg $ kill_cell_arg $ kill_at_ms_arg
+      $ traffic_seed_arg $ verbose_arg $ output_term)
+
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
@@ -657,6 +758,6 @@ let main =
   Cmd.group
     (Cmd.info "hive_sim" ~version:"1.0"
        ~doc:"Simulated Hive multicellular OS on a FLASH machine model.")
-    [ workload_cmd; sweep_cmd; fault_cmd; fuzz_cmd ]
+    [ workload_cmd; server_cmd; sweep_cmd; fault_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -9,6 +9,9 @@ type dims = {
   link_ms : int;
   import_cache : bool;
   smp : bool;
+  rate : int;
+  zipf_pct : int;
+  fault_ms : int;
 }
 
 let default_dims =
@@ -20,13 +23,21 @@ let default_dims =
     link_ms = 0;
     import_cache = true;
     smp = false;
+    rate = 0;
+    zipf_pct = 0;
+    fault_ms = 0;
   }
 
 let dims_label d =
-  Printf.sprintf "%s cells=%d nodes=%d ws=%d link=%dms cache=%s%s" d.workload
-    d.cells d.nodes d.ws_pages d.link_ms
+  Printf.sprintf "%s cells=%d nodes=%d ws=%d link=%dms cache=%s%s%s%s%s"
+    d.workload d.cells d.nodes d.ws_pages d.link_ms
     (if d.import_cache then "on" else "off")
     (if d.smp then " smp" else "")
+    (if d.rate > 0 then Printf.sprintf " rate=%d" d.rate else "")
+    (if d.zipf_pct > 0 then
+       Printf.sprintf " zipf=%.1f" (float_of_int d.zipf_pct /. 100.)
+     else "")
+    (if d.fault_ms > 0 then Printf.sprintf " fault=%dms" d.fault_ms else "")
 
 type direction = Lower_better | Higher_better | Info
 

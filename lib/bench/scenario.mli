@@ -22,6 +22,10 @@ type dims = {
           t=0, 0 = healthy interconnect *)
   import_cache : bool;  (** false = legacy sharing protocol *)
   smp : bool;  (** SMP-OS baseline: one kernel, firewall off *)
+  rate : int;  (** traffic arrival rate in requests/s, 0 = n/a *)
+  zipf_pct : int;  (** Zipf skew [s] times 100 (110 = s of 1.1), 0 = n/a *)
+  fault_ms : int;
+      (** cell-kill injection time into the traffic run, 0 = no fault *)
 }
 
 val default_dims : dims

@@ -80,6 +80,9 @@ let dims_to_json (d : Scenario.dims) =
       ("link_ms", J.Int (Int64.of_int d.Scenario.link_ms));
       ("import_cache", J.Bool d.Scenario.import_cache);
       ("smp", J.Bool d.Scenario.smp);
+      ("rate", J.Int (Int64.of_int d.Scenario.rate));
+      ("zipf_pct", J.Int (Int64.of_int d.Scenario.zipf_pct));
+      ("fault_ms", J.Int (Int64.of_int d.Scenario.fault_ms));
     ]
 
 let row_to_json r =
@@ -135,8 +138,22 @@ let dims_of_json j : (Scenario.dims, string) result =
   let* link_ms = field "link_ms" J.to_int_opt j in
   let* import_cache = field "import_cache" J.to_bool_opt j in
   let* smp = field "smp" J.to_bool_opt j in
+  (* traffic dims default to 0 so baselines written before they existed
+     still parse (0 = "not a traffic row", matching default_dims) *)
+  let opt_int name =
+    match J.member name j with
+    | None -> Ok 0
+    | Some v -> (
+      match J.to_int_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "sweep: bad field %S" name))
+  in
+  let* rate = opt_int "rate" in
+  let* zipf_pct = opt_int "zipf_pct" in
+  let* fault_ms = opt_int "fault_ms" in
   Ok
-    { Scenario.workload; cells; nodes; ws_pages; link_ms; import_cache; smp }
+    { Scenario.workload; cells; nodes; ws_pages; link_ms; import_cache; smp;
+      rate; zipf_pct; fault_ms }
 
 let metric_of_json j =
   let* name = field "name" J.to_string_opt j in

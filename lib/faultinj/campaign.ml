@@ -440,6 +440,7 @@ let run_parallel (type r) ~jobs ~(seeds : int64 array) ~(run : int64 -> r)
     Array.iter (fun s -> on_record s (run s)) seeds
   else begin
     Hive.System.register_all_handlers ();
+    Workloads.Server.register_ops ();
     let next = Atomic.make 0 in
     let results : (r, exn) result option array = Array.make n None in
     let m = Mutex.create () in

@@ -12,6 +12,13 @@
 
 type workload = Pmake | Ocean | Raytrace
 
+type traffic = {
+  t_rate : int; (* system-wide arrival rate, requests/s *)
+  t_zipf_pct : int; (* Zipf s x100; 0 = uniform *)
+  t_churn_pct : int;
+  t_deadline_ms : int; (* end-to-end client budget *)
+}
+
 type plan = {
   seed : int64;
   ncells : int;
@@ -20,6 +27,9 @@ type plan = {
   workload : workload;
   jitter : bool;
   faults : Campaign.fault list;
+  traffic : traffic option;
+      (* when set, interactive server traffic replaces the batch workload;
+         the fault schedule above still applies mid-traffic *)
 }
 
 type record = {
@@ -41,6 +51,7 @@ let link_salt = 0xD6E8FEB86659FD93L
 let dup_salt = 0xC2B2AE3D27D4EB4FL
 let part_salt = 0x2545F4914F6CDD1DL
 let cpu_salt = 0xDA942042E4DD58B5L
+let traffic_salt = 0xA0761D6478BD642FL
 
 let ms n = Int64.mul (Int64.of_int n) 1_000_000L
 
@@ -186,14 +197,36 @@ let plan_of_seed seed =
     |> List.stable_sort (fun a b ->
            Int64.compare (Campaign.fault_time a) (Campaign.fault_time b))
   in
-  { seed; ncells; nodes_per_cell; mem_pages_per_node; workload; jitter; faults }
+  (* Interactive traffic from its own salted stream, appended after every
+     draw above: a quarter of the seeds run the server workload (under
+     the same fault schedule) instead of a batch workload, and the other
+     seeds keep byte-identical plans. *)
+  let trng = Sim.Prng.of_int64 (Int64.logxor seed traffic_salt) in
+  let traffic =
+    if Sim.Prng.int trng 4 = 0 then
+      Some
+        {
+          t_rate = 40 + (20 * Sim.Prng.int trng 7);
+          t_zipf_pct = [| 0; 80; 110; 140 |].(Sim.Prng.int trng 4);
+          t_churn_pct = 5 * Sim.Prng.int trng 5;
+          t_deadline_ms = 150 + (50 * Sim.Prng.int trng 4);
+        }
+    else None
+  in
+  { seed; ncells; nodes_per_cell; mem_pages_per_node; workload; jitter;
+    faults; traffic }
 
 let describe_plan p =
-  Printf.sprintf "seed=0x%Lx cells=%dx%d mem=%d wl=%s jitter=%s faults=[%s]"
+  Printf.sprintf "seed=0x%Lx cells=%dx%d mem=%d wl=%s jitter=%s faults=[%s]%s"
     p.seed p.ncells p.nodes_per_cell p.mem_pages_per_node
     (workload_name p.workload)
     (if p.jitter then "on" else "off")
     (String.concat "; " (List.map fault_desc p.faults))
+    (match p.traffic with
+    | None -> ""
+    | Some t ->
+      Printf.sprintf " traffic=[rate=%d zipf=%d%% churn=%d%% deadline=%dms]"
+        t.t_rate t.t_zipf_pct t.t_churn_pct t.t_deadline_ms)
 
 (* Workload configurations are scaled down from the paper's Table 7.1
    sizes so a single fuzz run takes a fraction of a second of wall time.
@@ -205,11 +238,30 @@ type wcfg =
   | Cfg_pmake of Workloads.Pmake.cfg
   | Cfg_ocean of Workloads.Ocean.cfg
   | Cfg_raytrace of Workloads.Raytrace.cfg
+  | Cfg_server of Workloads.Server.cfg
 
 let cfg_of_plan p =
   let rng = Sim.Prng.of_int64 (Int64.logxor p.seed cfg_salt) in
   let r n = Sim.Prng.int rng n in
-  match p.workload with
+  match p.traffic with
+  | Some t ->
+    (* Scaled down like the batch configs: ~1.2 s of traffic so the
+       plan's 30ms..1.2s fault schedule lands mid-stream. Faults come
+       from the plan's injector, not from the workload's own knob. *)
+    Cfg_server
+      {
+        Workloads.Server.default with
+        Workloads.Server.duration_ms = 1_200;
+        rate_rps = float_of_int t.t_rate;
+        zipf_s = float_of_int t.t_zipf_pct /. 100.;
+        nfiles = 32;
+        churn_pct = t.t_churn_pct;
+        deadline_ms = t.t_deadline_ms;
+        fault = None;
+        seed = p.seed;
+      }
+  | None -> (
+    match p.workload with
   | Pmake ->
     Cfg_pmake
       {
@@ -237,30 +289,37 @@ let cfg_of_plan p =
         step_compute_ns = ms 200;
         init_compute_ns = ms 100;
       }
-  | Raytrace ->
-    Cfg_raytrace
-      {
-        Workloads.Raytrace.workers = 2 + r 3;
-        scene_pages = 32 + r 33;
-        tile_pages = 8;
-        compute_ns = ms 600;
-        build_ns = ms 100;
-      }
+    | Raytrace ->
+      Cfg_raytrace
+        {
+          Workloads.Raytrace.workers = 2 + r 3;
+          scene_pages = 32 + r 33;
+          tile_pages = 8;
+          compute_ns = ms 600;
+          build_ns = ms 100;
+        })
 
 let setup_workload sys = function
   | Cfg_pmake c -> Workloads.Pmake.setup sys c
   | Cfg_ocean c -> Workloads.Ocean.setup sys c
   | Cfg_raytrace _ -> ()  (* the driver builds the scene itself *)
+  | Cfg_server _ -> ()  (* run creates its own /srv tree *)
 
 let run_workload sys = function
   | Cfg_pmake c -> fst (Workloads.Pmake.run ~cfg:c sys)
   | Cfg_ocean c -> fst (Workloads.Ocean.run ~cfg:c sys)
   | Cfg_raytrace c -> fst (Workloads.Raytrace.run ~cfg:c sys)
+  | Cfg_server c -> fst (Workloads.Server.run ~cfg:c sys)
 
 let verify_workload sys = function
   | Cfg_pmake c -> Workloads.Pmake.verify ~cfg:c sys
   | Cfg_ocean c -> Workloads.Ocean.verify ~cfg:c sys
   | Cfg_raytrace c -> Workloads.Raytrace.verify ~cfg:c sys
+  | Cfg_server _ ->
+    (* Reads have no output files; correctness on a clean run is the
+       driver completing with zero traffic-thread errors, which
+       [run] already folds into [completed]. *)
+    []
 
 (* Post-episode correctness check (Section 7.4's "check run"): a tiny
    pmake across the surviving cells whose outputs must be exact. *)
@@ -572,6 +631,9 @@ let shrink ?(demo_bug = false) ?(dup_bug = false) ?(split_brain = false) plan
     let candidates p =
       List.init (List.length p.faults) (fun i ->
           { p with faults = drop p.faults i })
+      @ (match p.traffic with
+        | Some _ -> [ { p with traffic = None } ]
+        | None -> [])
       @ (if p.jitter then [ { p with jitter = false } ] else [])
       @ List.filter_map
           (fun grain ->

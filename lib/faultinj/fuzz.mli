@@ -10,6 +10,14 @@
 
 type workload = Pmake | Ocean | Raytrace
 
+(** Interactive-traffic shape for seeds that run the server workload. *)
+type traffic = {
+  t_rate : int;  (** system-wide arrival rate, requests/s *)
+  t_zipf_pct : int;  (** Zipf [s] times 100; 0 = uniform *)
+  t_churn_pct : int;
+  t_deadline_ms : int;  (** end-to-end client budget *)
+}
+
 type plan = {
   seed : int64;
   ncells : int;
@@ -18,6 +26,11 @@ type plan = {
   workload : workload;
   jitter : bool;
   faults : Campaign.fault list;  (** sorted by injection time *)
+  traffic : traffic option;
+      (** when set, interactive server traffic replaces the batch
+          workload; [faults] still applies mid-traffic. Drawn from its
+          own salted stream appended after every other draw, so seeds
+          without traffic keep byte-identical plans. *)
 }
 
 type record = {

@@ -27,6 +27,7 @@ module Snapshot = struct
     p50_ns : float;
     p95_ns : float;
     p99_ns : float;
+    p999_ns : float;
     buckets : (int64 * int64 * int) list;
   }
 
@@ -49,6 +50,7 @@ module Snapshot = struct
     sim_time_ns : int64;
     rpc_client : (string * hist) list;
     rpc_server : (string * hist) list;
+    ops : (string * hist) list;
     cells : cell list;
     system_counters : (string * int) list;
     sips : sips;
@@ -61,6 +63,31 @@ module Snapshot = struct
     Option.value ~default:0 (List.assoc_opt name t.sharing)
 
   let client_hist t op = List.assoc_opt op t.rpc_client
+
+  let op_hist t name = List.assoc_opt name t.ops
+
+  (* Estimate an arbitrary quantile from the exported log-scale buckets.
+     Within the bucket holding the target rank we interpolate linearly;
+     the coarse bucket bounds make this an estimate, so the summary
+     percentiles (sample-based) are preferred when one of them matches. *)
+  let hist_quantile (h : hist) q =
+    if h.count = 0 then 0.
+    else if q <= 0. then h.min_ns
+    else if q >= 100. then h.max_ns
+    else begin
+      let target = q /. 100. *. float_of_int h.count in
+      let rec go seen = function
+        | [] -> h.max_ns
+        | (lo, hi, n) :: rest ->
+          let seen' = seen +. float_of_int n in
+          if seen' >= target then
+            let frac = (target -. seen) /. float_of_int n in
+            let lo = Int64.to_float lo and hi = Int64.to_float hi in
+            Float.min h.max_ns (Float.max h.min_ns (lo +. (frac *. (hi -. lo))))
+          else go seen' rest
+      in
+      go 0. h.buckets
+    end
 
   (* ---------- to JSON ---------- *)
 
@@ -77,6 +104,7 @@ module Snapshot = struct
         ("p50_ns", J.Float h.p50_ns);
         ("p95_ns", J.Float h.p95_ns);
         ("p99_ns", J.Float h.p99_ns);
+        ("p999_ns", J.Float h.p999_ns);
         ( "buckets",
           J.Arr
             (List.map
@@ -105,6 +133,7 @@ module Snapshot = struct
                ("client", hist_table t.rpc_client);
                ("server", hist_table t.rpc_server);
              ] );
+         ("ops", hist_table t.ops);
          ("cells", J.Arr (List.map cell_to_json t.cells));
          ("system_counters", counters_to_json t.system_counters);
          ( "sips",
@@ -172,6 +201,7 @@ module Snapshot = struct
     let* p50_ns = field "p50_ns" J.to_float_opt j in
     let* p95_ns = field "p95_ns" J.to_float_opt j in
     let* p99_ns = field "p99_ns" J.to_float_opt j in
+    let* p999_ns = field "p999_ns" J.to_float_opt j in
     let* buckets = field "buckets" J.to_list_opt j in
     let* buckets =
       map_result
@@ -184,7 +214,7 @@ module Snapshot = struct
           | _ -> Error "metrics: bad bucket shape")
         buckets
     in
-    Ok { count; mean_ns; min_ns; max_ns; p50_ns; p95_ns; p99_ns; buckets }
+    Ok { count; mean_ns; min_ns; max_ns; p50_ns; p95_ns; p99_ns; p999_ns; buckets }
 
   let hist_table_of_json name j =
     match J.to_obj_opt j with
@@ -224,6 +254,12 @@ module Snapshot = struct
     let* rpc_client = hist_table_of_json "rpc.client" rpc_client in
     let* rpc_server = field "server" Option.some rpc in
     let* rpc_server = hist_table_of_json "rpc.server" rpc_server in
+    let* ops =
+      (* absent in snapshots written before op-level instrumentation *)
+      match J.member "ops" j with
+      | None -> Ok []
+      | Some v -> hist_table_of_json "ops" v
+    in
     let* cells = field "cells" J.to_list_opt j in
     let* cells = map_result cell_of_json cells in
     let* system_counters = field "system_counters" Option.some j in
@@ -260,6 +296,7 @@ module Snapshot = struct
         sim_time_ns;
         rpc_client;
         rpc_server;
+        ops;
         cells;
         system_counters;
         sips = { sends; drops; dups; delays; stale_purged };
@@ -287,6 +324,7 @@ let hist_of_stats (h : Sim.Stats.histogram) : Snapshot.hist =
       p50_ns = 0.;
       p95_ns = 0.;
       p99_ns = 0.;
+      p999_ns = 0.;
       buckets = [];
     }
   else
@@ -299,6 +337,7 @@ let hist_of_stats (h : Sim.Stats.histogram) : Snapshot.hist =
       p50_ns = p 50.;
       p95_ns = p 95.;
       p99_ns = p 99.;
+      p999_ns = p 99.9;
       buckets = Sim.Stats.hist_nonempty h;
     }
 
@@ -348,6 +387,7 @@ let capture (sys : Types.system) : Snapshot.t =
     sim_time_ns = Sim.Engine.now sys.Types.eng;
     rpc_client = sorted_hists sys.Types.rpc_client_ns;
     rpc_server = sorted_hists sys.Types.rpc_server_ns;
+    ops = sorted_hists sys.Types.op_ns;
     cells =
       Array.to_list
         (Array.map
@@ -391,6 +431,17 @@ let print_summary (s : Snapshot.t) =
         Printf.printf "  %-26s %8d %8.1f %8.1f %8.1f\n" name h.count
           (h.p50_ns /. 1e3) (h.p95_ns /. 1e3) (h.p99_ns /. 1e3))
       s.Snapshot.rpc_client
+  end;
+  if s.Snapshot.ops <> [] then begin
+    Printf.printf "end-to-end op latency (us):\n";
+    Printf.printf "  %-26s %8s %8s %8s %8s %8s\n" "op|phase" "count" "p50"
+      "p95" "p99" "p99.9";
+    List.iter
+      (fun (name, (h : Snapshot.hist)) ->
+        Printf.printf "  %-26s %8d %8.1f %8.1f %8.1f %8.1f\n" name h.count
+          (h.p50_ns /. 1e3) (h.p95_ns /. 1e3) (h.p99_ns /. 1e3)
+          (h.p999_ns /. 1e3))
+      s.Snapshot.ops
   end;
   (let get = Snapshot.sharing_total s in
    if get "share.imports" > 0 then

@@ -22,6 +22,7 @@ module Snapshot : sig
     p50_ns : float;
     p95_ns : float;
     p99_ns : float;
+    p999_ns : float;
     buckets : (int64 * int64 * int) list;
   }
 
@@ -46,6 +47,10 @@ module Snapshot : sig
     sim_time_ns : int64;
     rpc_client : (string * hist) list;  (** per-op, sorted by op name *)
     rpc_server : (string * hist) list;
+    ops : (string * hist) list;
+        (** user-visible end-to-end op latency, keyed ["class|phase"]
+            (e.g. ["server.read|before"]); empty when the run recorded
+            none, and parsed as empty from older snapshots. *)
     cells : cell list;
     system_counters : (string * int) list;
     sips : sips;
@@ -62,6 +67,16 @@ module Snapshot : sig
 
   (** Client-side histogram for one RPC op, if any calls were made. *)
   val client_hist : t -> string -> hist option
+
+  (** End-to-end op histogram by ["class|phase"] key, if recorded. *)
+  val op_hist : t -> string -> hist option
+
+  (** [hist_quantile h q] estimates the [q]-th percentile (0..100) from
+      the exported log-scale buckets with linear interpolation inside
+      the target bucket, clamped to [min_ns, max_ns]. The summary fields
+      (sample-based) are more accurate where they exist; this covers
+      arbitrary quantiles of an already-serialized histogram. *)
+  val hist_quantile : hist -> float -> float
 
   val to_json : t -> Sim.Json.t
 

@@ -27,6 +27,14 @@ type t = {
   rpc_epoch_check : bool;
       (* clients drop replies stamped with a previous incarnation (false
          only in runs proving the epoch invariant checker has teeth) *)
+  rpc_deadline_ns : int64;
+      (* default end-to-end budget for a call, spanning every retransmit
+         and backoff sleep; 0 = unlimited (the per-attempt schedule alone
+         bounds the call). Callers override per call with ?deadline_ns. *)
+  rpc_queue_bound : int;
+      (* admission control for ops declared [sheddable]: a sheddable
+         request arriving while the server's queued-service backlog is at
+         least this deep is refused with EBUSY instead of queued *)
   (* Careful reference protocol *)
   careful_on_ns : int64;
   careful_off_ns : int64;
@@ -111,6 +119,8 @@ let default =
     rpc_backoff_cap_ns = 160_000_000L;
     rpc_dup_suppression = true;
     rpc_epoch_check = true;
+    rpc_deadline_ns = 0L;
+    rpc_queue_bound = 64;
     careful_on_ns = 260L;
     careful_off_ns = 200L;
     careful_check_ns = 60L;

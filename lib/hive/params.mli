@@ -17,6 +17,12 @@ type t = {
   rpc_backoff_cap_ns : int64;
   rpc_dup_suppression : bool;
   rpc_epoch_check : bool;
+  rpc_deadline_ns : int64;
+      (** default end-to-end call budget across retransmits and backoff;
+          0 = unlimited *)
+  rpc_queue_bound : int;
+      (** queued-service backlog depth at which sheddable requests are
+          refused with EBUSY *)
   careful_on_ns : int64;
   careful_off_ns : int64;
   careful_check_ns : int64;

@@ -37,6 +37,13 @@ type Flash.Sips.message +=
       op : string;
       arg : Types.payload;
       arg_bytes : int;
+      deadline_ns : int64;
+          (* absolute end-to-end deadline propagated from the client,
+             0 = none. The server pool drops a queued request whose
+             deadline already passed instead of executing work whose
+             caller has provably given up — so a burst of abandoned
+             requests drains at dequeue speed rather than occupying
+             the pool for their full service time. *)
     }
   | M_reply of {
       call_id : int;
@@ -63,15 +70,20 @@ module Op = struct
     reply_bytes : int;
     timeout_ns : int64 option; (* None = use Params.rpc_timeout_ns *)
     idempotent : bool; (* read-only: replays are harmless, skip the cache *)
+    sheddable : bool;
+        (* interactive traffic the server may refuse with EBUSY under
+           load; kernel ops are never shed *)
   }
 
   let declared : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let declare ?(arg_bytes = 64) ?(reply_bytes = 64) ?timeout_ns
-      ?(idempotent = false) name =
+      ?(idempotent = false) ?(sheddable = false) name =
     if Hashtbl.mem declared name then
       invalid_arg ("Rpc.Op.declare: duplicate " ^ name);
-    let op = { name; arg_bytes; reply_bytes; timeout_ns; idempotent } in
+    let op =
+      { name; arg_bytes; reply_bytes; timeout_ns; idempotent; sheddable }
+    in
     Hashtbl.replace declared name op;
     op
 
@@ -80,6 +92,11 @@ module Op = struct
   let is_idempotent name =
     match Hashtbl.find_opt declared name with
     | Some op -> op.idempotent
+    | None -> false
+
+  let is_sheddable name =
+    match Hashtbl.find_opt declared name with
+    | Some op -> op.sheddable
     | None -> false
 
   let all () =
@@ -192,8 +209,9 @@ let prune_session (s : Types.rpc_session) =
 let service_request (sys : Types.system) (server : Types.cell) env =
   let p = sys.Types.params in
   match env.Flash.Sips.msg with
-  | M_request { call_id; src_cell; src_epoch; attempt; op; arg; arg_bytes }
-    -> (
+  | M_request
+      { call_id; src_cell; src_epoch; attempt; op; arg; arg_bytes;
+        deadline_ns } -> (
     Types.bump server "rpc.served";
     if attempt > 0 then Types.bump server "rpc.retransmits_seen";
     let cpu = Flash.Machine.cpu sys.Types.machine (Types.boss_proc server) in
@@ -289,6 +307,20 @@ let service_request (sys : Types.system) (server : Types.cell) env =
                   ]
                 ~cat:Sim.Event.Rpc ("rpc.serve:" ^ op);
             complete outcome
+          | Types.Queued _
+            when Op.is_sheddable op
+                 && (Sim.Mailbox.length server.Types.rpc_queue
+                     >= p.Params.rpc_queue_bound
+                    || server.Types.cstatus <> Types.Cell_up) ->
+            (* Admission control: a sheddable request meeting a saturated
+               backlog — or a cell still mid-recovery — is refused right
+               at interrupt level with a fast-fail EBUSY, so overload (or
+               a rebooting cell) degrades into explicit shed counts the
+               client can redirect on, instead of queue collapse. Going
+               through [complete] keeps the reply cache coherent for
+               retransmits of the shed call. *)
+            Types.bump server "rpc.shed";
+            complete (Error Types.EBUSY)
           | Types.Queued f ->
             (* Longer-latency request: hand off to the server process pool;
                the completion reply is sent from the server process. *)
@@ -296,11 +328,24 @@ let service_request (sys : Types.system) (server : Types.cell) env =
             Flash.Cpu.steal sys.Types.eng cpu p.Params.rpc_queue_handoff_ns;
             Sim.Mailbox.send sys.Types.eng server.Types.rpc_queue (fun () ->
                 Sim.Engine.delay p.Params.rpc_context_switch_ns;
-                let outcome =
-                  timed (fun () ->
-                      try f () with Types.Syscall_error e -> Error e)
-                in
-                complete outcome)
+                if
+                  Int64.compare deadline_ns 0L > 0
+                  && Int64.compare (Sim.Engine.now sys.Types.eng) deadline_ns
+                     > 0
+                then begin
+                  (* Deadline propagation: the caller's end-to-end budget
+                     already ran out while this request sat in the queue,
+                     so it has provably given up (or soon will) on any
+                     reply — drop the work instead of serving a ghost. *)
+                  Types.bump server "rpc.expired";
+                  complete (Error Types.ETIMEDOUT)
+                end
+                else
+                  let outcome =
+                    timed (fun () ->
+                        try f () with Types.Syscall_error e -> Error e)
+                  in
+                  complete outcome)
           | exception Types.Syscall_error e -> complete (Error e)))
     end)
   | _ -> ()
@@ -404,7 +449,7 @@ let backoff_ns (p : Params.t) rng n =
    Payload sizes and the timeout default from the op descriptor; per-call
    overrides remain for variable-size payloads. *)
 let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
-    ?arg_bytes ?reply_bytes ?timeout_ns arg =
+    ?arg_bytes ?reply_bytes ?timeout_ns ?deadline_ns arg =
   let p = sys.Types.params in
   let arg_bytes =
     match arg_bytes with Some b -> b | None -> op.Op.arg_bytes
@@ -418,10 +463,36 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
     | None, Some t -> t
     | None, None -> p.Params.rpc_timeout_ns
   in
+  let deadline_ns =
+    match deadline_ns with Some d -> d | None -> p.Params.rpc_deadline_ns
+  in
   let eng = sys.Types.eng in
   let op_name = op.Op.name in
   Types.bump from "rpc.calls";
   let t0 = Sim.Engine.now eng in
+  (* End-to-end budget: the absolute instant past which no further
+     waiting or retransmission may happen, spanning every attempt and
+     backoff sleep (the per-attempt [timeout_ns] alone would multiply the
+     caller's intent by the whole retry schedule). 0 = unlimited. *)
+  let t_deadline =
+    if Int64.compare deadline_ns 0L > 0 then Some (Int64.add t0 deadline_ns)
+    else None
+  in
+  let budget_left () =
+    match t_deadline with
+    | None -> None
+    | Some td -> Some (Int64.sub td (Sim.Engine.now eng))
+  in
+  let budget_exhausted () =
+    match budget_left () with
+    | Some r -> Int64.compare r 0L <= 0
+    | None -> false
+  in
+  let cap_to_budget ns =
+    match budget_left () with
+    | Some r when Int64.compare r ns < 0 -> Int64.max r 0L
+    | _ -> ns
+  in
   (* Record the whole-call latency the client observed, on every exit
      path; the enclosing span closes even if the thread is killed. *)
   let finish outcome =
@@ -447,6 +518,12 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
     Sim.Engine.delay p.Params.rpc_client_send_ns;
     Sim.Engine.delay (marshal_cost sys arg_bytes);
     let call_id = make_call_id from in
+    (* The epoch travels with the call, stamped once when the id is
+       minted: a retransmit after the calling cell reboots mid-call must
+       still carry the old incarnation (so the server's session filter
+       stale-drops it) — re-reading [from.incarnation] here would let a
+       previous life's call id re-execute under the new epoch. *)
+    let src_epoch = from.Types.incarnation in
     let pc =
       { Types.call_id; reply = None; call_done = Sim.Ivar.create () }
     in
@@ -476,38 +553,58 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
           (M_request
              { call_id;
                src_cell = from.Types.cell_id;
-               src_epoch = from.Types.incarnation;
+               src_epoch;
                attempt;
                op = op_name;
                arg;
-               arg_bytes });
+               arg_bytes;
+               deadline_ns =
+                 (match t_deadline with Some td -> td | None -> 0L) });
         true
       with Flash.Sips.Target_failed _ -> false
+    in
+    let give_up_deadline () =
+      Types.bump from "rpc.deadline_exceeded";
+      give_up Types.ETIMEDOUT
     in
     let rec attempt n =
       (* The reply may have landed during the previous backoff sleep. *)
       match Sim.Ivar.peek pc.Types.call_done with
       | Some outcome -> succeed outcome
       | None ->
-        if not (List.mem target from.Types.live_set) then
+        if from.Types.incarnation <> src_epoch then
+          (* Our own cell died and rebooted while the call was in
+             flight: the id belongs to the previous life, every
+             retransmit would be stale-dropped and any late reply
+             discarded, so fail the orphaned call instead of burning
+             retries. *)
+          give_up Types.EHOSTDOWN
+        else if not (List.mem target from.Types.live_set) then
           (* Recovery declared the target dead while we were waiting. *)
           give_up Types.EHOSTDOWN
+        else if budget_exhausted () then give_up_deadline ()
         else if not (transmit n) then
           give_up ~hint:"rpc: target node down" Types.EHOSTDOWN
         else begin
           (* The client processor spins waiting for the reply; it only
              context switches after a timeout of 50 us, which almost never
              occurs. *)
-          match Sim.Ivar.read ~timeout:timeout_ns eng pc.Types.call_done with
+          match
+            Sim.Ivar.read
+              ~timeout:(cap_to_budget timeout_ns)
+              eng pc.Types.call_done
+          with
           | Some outcome -> succeed outcome
           | None ->
-            if n >= p.Params.rpc_max_retries then begin
+            if budget_exhausted () then give_up_deadline ()
+            else if n >= p.Params.rpc_max_retries then begin
               Types.bump from "rpc.timeouts";
               give_up ~hint:"rpc: timeout" Types.EHOSTDOWN
             end
             else begin
               Types.bump from "rpc.retransmits";
-              Sim.Engine.delay (backoff_ns p from.Types.rpc_rng n);
+              Sim.Engine.delay
+                (cap_to_budget (backoff_ns p from.Types.rpc_rng n));
               attempt (n + 1)
             end
         end
@@ -524,7 +621,11 @@ let call (sys : Types.system) ~(from : Types.cell) ~target ~(op : Op.t)
   end
 
 (* Convenience wrapper raising Syscall_error on failure. *)
-let call_exn sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns arg =
-  match call sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns arg with
+let call_exn sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns
+    ?deadline_ns arg =
+  match
+    call sys ~from ~target ~op ?arg_bytes ?reply_bytes ?timeout_ns
+      ?deadline_ns arg
+  with
   | Ok v -> v
   | Error e -> raise (Types.Syscall_error e)

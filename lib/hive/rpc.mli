@@ -29,16 +29,22 @@ module Op : sig
     reply_bytes : int; (* default reply payload size *)
     timeout_ns : int64 option; (* None = Params.rpc_timeout_ns *)
     idempotent : bool; (* replays harmless: skips the reply cache *)
+    sheddable : bool; (* may be refused with EBUSY under server overload *)
   }
 
   (** Declare an operation; raises [Invalid_argument] on a duplicate name.
       Call once at module initialization. Declare [~idempotent:true] only
-      for read-only ops whose re-execution is observably harmless. *)
+      for read-only ops whose re-execution is observably harmless.
+      Declare [~sheddable:true] for interactive traffic the server may
+      refuse with [EBUSY] when its queued-service backlog reaches
+      [Params.rpc_queue_bound] or the cell is still mid-recovery; kernel
+      ops are never shed. *)
   val declare :
     ?arg_bytes:int ->
     ?reply_bytes:int ->
     ?timeout_ns:int64 ->
     ?idempotent:bool ->
+    ?sheddable:bool ->
     string ->
     t
 
@@ -47,6 +53,9 @@ module Op : sig
   (** Whether the named op was declared idempotent (false if unknown). *)
   val is_idempotent : string -> bool
 
+  (** Whether the named op was declared sheddable (false if unknown). *)
+  val is_sheddable : string -> bool
+
   (** Every declared op, sorted by name (for metrics export). *)
   val all : unit -> t list
 end
@@ -54,6 +63,10 @@ end
 type Flash.Sips.message +=
     M_request of { call_id : int; src_cell : int; src_epoch : int;
       attempt : int; op : string; arg : Types.payload; arg_bytes : int;
+      deadline_ns : int64;
+          (** absolute client deadline propagated with the request,
+              0 = none; the server pool drops queued requests whose
+              deadline has already passed *)
     }
   | M_reply of { call_id : int; dst_epoch : int;
       outcome : Types.rpc_outcome;
@@ -84,7 +97,11 @@ val start_threads : Types.system -> Types.cell -> unit
 (** Call [op] on [target]. Payload sizes and the timeout default from the
     descriptor; the optional arguments override them for variable-size
     payloads. The timeout is per attempt: a call retransmits up to
-    [Params.rpc_max_retries] times before returning [Error EHOSTDOWN]. *)
+    [Params.rpc_max_retries] times before returning [Error EHOSTDOWN].
+    [deadline_ns] is the end-to-end budget spanning every attempt and
+    backoff sleep (default [Params.rpc_deadline_ns]; 0 = unlimited):
+    when it runs out the call stops retransmitting and returns
+    [Error ETIMEDOUT] without raising a failure hint. *)
 val call :
   Types.system ->
   from:Types.cell ->
@@ -92,7 +109,8 @@ val call :
   op:Op.t ->
   ?arg_bytes:int ->
   ?reply_bytes:int ->
-  ?timeout_ns:int64 -> Types.payload -> Types.rpc_outcome
+  ?timeout_ns:int64 ->
+  ?deadline_ns:int64 -> Types.payload -> Types.rpc_outcome
 val call_exn :
   Types.system ->
   from:Types.cell ->
@@ -100,4 +118,5 @@ val call_exn :
   op:Op.t ->
   ?arg_bytes:int ->
   ?reply_bytes:int ->
-  ?timeout_ns:int64 -> Types.payload -> Types.payload
+  ?timeout_ns:int64 ->
+  ?deadline_ns:int64 -> Types.payload -> Types.payload

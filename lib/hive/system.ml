@@ -163,6 +163,7 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       events = Sim.Event.create eng;
       rpc_client_ns = Hashtbl.create 32;
       rpc_server_ns = Hashtbl.create 32;
+      op_ns = Hashtbl.create 32;
       recovery_timeline = [];
     }
   in

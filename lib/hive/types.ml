@@ -18,6 +18,8 @@ type errno =
   | EFAULT
   | EAGAIN
   | EHOSTDOWN (* cell owning the resource is down *)
+  | EBUSY (* server shed the request: queue saturated or mid-recovery *)
+  | ETIMEDOUT (* end-to-end deadline budget exhausted across retries *)
 
 exception Syscall_error of errno
 
@@ -29,6 +31,8 @@ let errno_to_string = function
   | EFAULT -> "EFAULT"
   | EAGAIN -> "EAGAIN"
   | EHOSTDOWN -> "EHOSTDOWN"
+  | EBUSY -> "EBUSY"
+  | ETIMEDOUT -> "ETIMEDOUT"
 
 (* File identity: the data home cell plus an inode number local to it. *)
 type fid = { home : cell_id; ino : int }
@@ -336,6 +340,9 @@ type system = {
       (* per-op whole-call latency seen by clients *)
   rpc_server_ns : (string, Sim.Stats.histogram) Hashtbl.t;
       (* per-op handler execution time on servers *)
+  op_ns : (string, Sim.Stats.histogram) Hashtbl.t;
+      (* user-visible end-to-end operation latency by op class (the server
+         workload keys these as "class|phase", e.g. "server.read|before") *)
   mutable recovery_timeline : (string * int64) list;
       (* (phase, time) markers from the most recent recovery, oldest first *)
 }

@@ -42,3 +42,51 @@ let shuffle t arr =
     arr.(i) <- arr.(j);
     arr.(j) <- tmp
   done
+
+(* [float t] is in [0, 1), so [1 - u] is in (0, 1] and the log is finite. *)
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Prng.exponential: mean must be positive";
+  -.mean *. log (1. -. float t)
+
+(* Knuth's product-of-uniforms method; exp (-lambda) underflows to 0 well
+   past 700, and interactive arrival batches are tiny, so the bound is not
+   a practical restriction. *)
+let poisson t lambda =
+  if lambda <= 0. || lambda > 700. then
+    invalid_arg "Prng.poisson: lambda must be in (0, 700]";
+  let l = Stdlib.exp (-.lambda) in
+  let rec go k p =
+    let p = p *. float t in
+    if p > l then go (k + 1) p else k
+  in
+  go 0 1.0
+
+(* Zipf popularity over ranks 0..n-1: rank i has weight 1/(i+1)^s. The
+   normalized CDF is precomputed once so each draw is one uniform plus a
+   binary search. *)
+type zipf = { zcdf : float array }
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  if s < 0. then invalid_arg "Prng.zipf: s must be non-negative";
+  let zcdf = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (i + 1)) s);
+    zcdf.(i) <- !total
+  done;
+  for i = 0 to n - 1 do
+    zcdf.(i) <- zcdf.(i) /. !total
+  done;
+  { zcdf }
+
+let zipf_draw t z =
+  let u = float t in
+  let n = Array.length z.zcdf in
+  (* First rank whose cumulative weight exceeds u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if z.zcdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

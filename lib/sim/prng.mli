@@ -34,3 +34,21 @@ val pick : t -> 'a array -> 'a
 
 (** In-place Fisher-Yates shuffle. *)
 val shuffle : t -> 'a array -> unit
+
+(** Exponentially distributed value with the given mean (e.g. Poisson
+    inter-arrival gaps). Raises on a non-positive mean. *)
+val exponential : t -> mean:float -> float
+
+(** Poisson-distributed count with mean [lambda] (Knuth's product-of-
+    uniforms method). Raises unless [0 < lambda <= 700]. *)
+val poisson : t -> float -> int
+
+(** Zipf popularity distribution over ranks [0..n-1]: rank [i] has weight
+    [1/(i+1)^s] ([s = 0] is uniform). The CDF is precomputed at [zipf]
+    time so each {!zipf_draw} is one uniform plus a binary search. *)
+type zipf
+
+val zipf : n:int -> s:float -> zipf
+
+(** Draw a rank in [\[0, n)] from the distribution. *)
+val zipf_draw : t -> zipf -> int

@@ -1,0 +1,72 @@
+(** server: an interactive time-sharing traffic workload for quantifying
+    "serve through failure" — open-loop Poisson arrivals on every cell,
+    Zipf file popularity over files spread across data homes, fork/exit
+    churn storms, and an optional cell kill mid-traffic.
+
+    Clients spend an end-to-end deadline budget across redirect legs
+    ([Hive.Rpc.call ?deadline_ns]); servers shed sheddable requests with
+    EBUSY when saturated or mid-recovery. Request latencies land in
+    [sys.op_ns] keyed ["class|phase"] (phases: before/during/after the
+    failure), so [Hive.Metrics] exports per-phase p50/p95/p99/p99.9. *)
+
+type fault = { kill_cell : int; at_ms : int }
+
+type cfg = {
+  duration_ms : int;
+  rate_rps : float;  (** system-wide arrival rate (open loop) *)
+  zipf_s : float;
+  nfiles : int;
+  file_pages : int;
+  read_pages : int;
+  service_ns : int64;
+  churn_pct : int;  (** % of arrivals that are churn requests *)
+  churn_forks : int;
+  churn_compute_ns : int64;
+  deadline_ms : int;  (** end-to-end client budget per request *)
+  remote_pct : int;  (** % of reads sent to a non-home cell first *)
+  fault : fault option;
+  seed : int64;
+}
+
+val default : cfg
+
+(** Outcome counts and containment numbers for one run. *)
+type stats = {
+  arrivals : int;
+  skipped : int;
+  reads_served : int;
+  reads_redirected : int;
+  fail_fast : int;
+  deadline_exceeded : int;
+  client_lost : int;
+  shed_legs : int;
+  churn_sent : int;
+  churn_ok : int;
+  fault_at_ns : int64 option;
+  recovered_at_ns : int64 option;
+  fail_fast_max_ns : int64;
+  errors : int;
+}
+
+type Hive.Types.payload +=
+    P_srv_read of { path : string; pages : int; service_ns : int64 }
+  | P_srv_data of { bytes : int }
+  | P_srv_churn of { path : string; forks : int; compute_ns : int64 }
+
+val read_op : Hive.Rpc.Op.t
+val churn_op : Hive.Rpc.Op.t
+
+(** Register the server RPC handlers; idempotent. Parallel campaign
+    drivers must call this before spawning worker domains (the handler
+    table is a shared global). *)
+val register_ops : unit -> unit
+
+(** Run the traffic against a booted system, driving the engine until
+    the configured duration elapses and every in-flight request has
+    resolved. [result.completed] also requires zero unexpected
+    traffic-thread errors. *)
+val run :
+  ?cfg:cfg -> Hive.Types.system -> Workload.result * stats
+
+(** One-line human summary of {!stats} (plus fault/recovery times). *)
+val print_stats : stats -> unit

@@ -14,6 +14,7 @@ let () =
       ("import-cache", Test_import_cache.suite);
       ("ssi", Test_ssi.suite);
       ("workloads", Test_workloads.suite);
+      ("traffic", Test_traffic.suite);
       ("observability", Test_observability.suite);
       ("wax-swap", Test_wax_swap.suite);
       ("fuzz", Test_fuzz.suite);
