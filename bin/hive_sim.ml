@@ -387,8 +387,20 @@ let run_fault kind shape node victim at_ms cascade_node oracle link_from
       (Workloads.Pmake.verify sys)
   in
   Printf.printf "corrupt outputs: %d (must be 0)\n" (List.length corrupt);
+  (* End-state structural check: containment means the survivors' kernel
+     state is consistent, not just that the build's outputs are. Give
+     in-flight batches a moment to drain so transient pins don't read as
+     leaks. *)
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 1_000_000_000L) eng;
+  let violations = Hive.Invariants.check sys in
+  List.iter
+    (fun viol ->
+      Printf.printf "invariant violation: %s\n" (Hive.Invariants.to_string viol))
+    violations;
+  Printf.printf "invariants: %s\n"
+    (if violations = [] then "clean" else "VIOLATED");
   finish_observability sys ~trace_close ~output;
-  if corrupt = [] then 0 else 1
+  if corrupt = [] && violations = [] then 0 else 1
 
 (* ---- fuzz command ---- *)
 

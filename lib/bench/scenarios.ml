@@ -717,6 +717,152 @@ let declare_traffic () =
          ]
        run_traffic)
 
+(* ---------- area scale ---------- *)
+
+(* The paper's full envelope: 4 to 64 cells over 8 to 128 nodes, with Wax
+   installed and driving placement through validated hints. Each row boots
+   the machine (per-node memory in the [ws_pages] dimension, kept small so
+   the big rows stay fast), runs a pmake sized to the cell count, fail-stops
+   the last cell mid-compile, and waits for automatic recovery plus
+   reintegration to reunify the live set. Committed rows gate the scaling
+   behavior: boot and recovery must grow sub-quadratically in cells, RPCs
+   per compile must stay flat, and the invariant checkers must come back
+   clean on every shape. *)
+
+let run_scale (dims : dims) =
+  let eng = Sim.Engine.create () in
+  let mcfg =
+    {
+      (Flash.Config.with_nodes Flash.Config.default dims.nodes) with
+      Flash.Config.mem_pages_per_node = dims.ws_pages;
+    }
+  in
+  let sys = Hive.System.boot ~mcfg ~ncells:dims.cells ~wax:true eng in
+  let boot_ms = Int64.to_float sys.Hive.Types.last_boot_ns /. 1e6 in
+  (* Let Wax publish stats and run a few policy passes before loading. *)
+  Sim.Engine.run ~until:(Int64.add (Sim.Engine.now eng) 400_000_000L) eng;
+  let pcfg =
+    {
+      Workloads.Pmake.default with
+      Workloads.Pmake.files = 2 * dims.cells;
+      jobs = max 4 dims.cells;
+      anon_pages = 64;
+    }
+  in
+  Workloads.Pmake.setup sys pcfg;
+  (* Fail-stop the last cell 500 ms into the build; detection runs off the
+     published-clock stall, recovery excises the cell, auto-reintegration
+     brings it back while the surviving compiles keep going. *)
+  let victim = dims.cells - 1 in
+  let t_fault = ref 0L in
+  let t_reunified = ref 0L in
+  let unified () =
+    (not sys.Hive.Types.recovery_in_progress)
+    && Array.for_all
+         (fun (c : Hive.Types.cell) ->
+           Hive.Types.cell_alive c
+           && List.length c.Hive.Types.live_set = dims.cells)
+         sys.Hive.Types.cells
+  in
+  ignore
+    (Sim.Engine.spawn eng ~name:"scale-fault" (fun () ->
+         Sim.Engine.delay 500_000_000L;
+         t_fault := Sim.Engine.now eng;
+         Hive.System.inject_node_failure sys
+           (List.hd sys.Hive.Types.cells.(victim).Hive.Types.cell_nodes)));
+  (* The build usually outlives reintegration, so sample the first moment
+     the machine is whole again rather than crediting the build tail to
+     recovery. *)
+  ignore
+    (Sim.Engine.spawn eng ~name:"scale-watch" (fun () ->
+         while Int64.compare !t_fault 0L = 0 || not (unified ()) do
+           Sim.Engine.delay 10_000_000L
+         done;
+         t_reunified := Sim.Engine.now eng));
+  let result, _ = Workloads.Pmake.run ~cfg:pcfg sys in
+  let reunified =
+    Hive.System.run_until sys
+      ~deadline:(Int64.add (Sim.Engine.now eng) 30_000_000_000L)
+      unified
+  in
+  let recovery_ms =
+    if reunified && Int64.compare !t_reunified !t_fault > 0 then
+      Int64.to_float (Int64.sub !t_reunified !t_fault) /. 1e6
+    else 0.
+  in
+  let snap = Hive.Metrics.capture sys in
+  let rpc_calls =
+    List.fold_left
+      (fun acc (_, (h : Hive.Metrics.Snapshot.hist)) ->
+        acc + h.Hive.Metrics.Snapshot.count)
+      0 snap.Hive.Metrics.Snapshot.rpc_client
+  in
+  let per name =
+    Array.fold_left
+      (fun acc (c : Hive.Types.cell) ->
+        acc + Sim.Stats.value c.Hive.Types.counters name)
+      0 sys.Hive.Types.cells
+  in
+  let sysc name = Sim.Stats.value sys.Hive.Types.sys_counters name in
+  (* Wax balancing effect: relative spread of free frames across the live
+     cells (stddev over mean). The hint loop steers allocation toward the
+     emptier cells, so a working Wax keeps this bounded as cells grow. *)
+  let free_counts =
+    Array.to_list sys.Hive.Types.cells
+    |> List.filter Hive.Types.cell_alive
+    |> List.map (fun c -> float_of_int (Hive.Page_alloc.free_count c))
+  in
+  let n = float_of_int (List.length free_counts) in
+  let mean = List.fold_left ( +. ) 0. free_counts /. n in
+  let var =
+    List.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. free_counts /. n
+  in
+  let spread_pct = if mean > 0. then 100. *. sqrt var /. mean else 0. in
+  let invariants_clean = Hive.Invariants.check sys = [] in
+  [
+    metric "boot_ms" boot_ms;
+    metric "recovery_ms" recovery_ms;
+    metric "rpcs_per_compile"
+      (float_of_int rpc_calls /. float_of_int pcfg.Workloads.Pmake.files);
+    metric ~dir:Higher_better "reunified" (if reunified then 1. else 0.);
+    metric ~dir:Higher_better "invariants_clean"
+      (if invariants_clean then 1. else 0.);
+    metric ~dir:Higher_better "wax_incarnations"
+      (float_of_int (sysc "wax.incarnations"));
+    metric ~dir:Info "free_spread_pct" spread_pct;
+    metric ~dir:Info "swap_hints_acted"
+      (float_of_int (per "wax.swap_hints_acted"));
+    metric ~dir:Info "rejected_hints" (float_of_int (per "wax.rejected_hints"));
+    metric ~dir:Info "elapsed_ms"
+      (Int64.to_float result.Workloads.Workload.elapsed_ns /. 1e6);
+    metric ~dir:Info "compiles" (float_of_int pcfg.Workloads.Pmake.files);
+  ]
+
+let declare_scale () =
+  let base =
+    { default_dims with workload = "scale"; ws_pages = 512 }
+  in
+  ignore
+    (declare ~name:"large-machine" ~area:"scale"
+       ~doc:
+         "boot N cells over 2N nodes with Wax hints driving placement, run \
+          a pmake sized to the machine, fail-stop one cell mid-build, and \
+          reunify through recovery + reintegration (ws = pages per node); \
+          gates boot/recovery scaling and hint-validation health"
+       ~dims:
+         [
+           { base with cells = 4; nodes = 8 };
+           { base with cells = 16; nodes = 32 };
+           { base with cells = 32; nodes = 64 };
+           { base with cells = 64; nodes = 128 };
+         ]
+       ~quick:
+         [
+           { base with cells = 4; nodes = 8 };
+           { base with cells = 32; nodes = 64 };
+         ]
+       run_scale)
+
 (* ---------- registration ---------- *)
 
 let registered = ref false
@@ -729,5 +875,6 @@ let register () =
     declare_workloads ();
     declare_fuzz ();
     declare_resilience ();
-    declare_traffic ()
+    declare_traffic ();
+    declare_scale ()
   end

@@ -17,7 +17,16 @@ type t = {
   disk_track_ns : int64;
   disk_bytes_per_ns : float;
   dma_setup_ns : int64;
+  disk_blocks : int;
+  swap_blocks : int;
 }
+
+(* Nodes cap: the firewall stores sparse multi-word permission vectors
+   (see Firewall), so the machine is no longer limited to the 64
+   processors of one vector word. The cap below only guards against
+   nonsense configs; the paper's full envelope (64 cells over hundreds
+   of nodes) fits comfortably. *)
+let max_nodes = 1024
 
 (* The paper's experimental machine: four 200-MHz R4000-class nodes, 32 MB
    per node, 700 ns average main-memory latency, 128-byte secondary cache
@@ -44,6 +53,10 @@ let default =
     disk_bytes_per_ns = 2.3e-3;
     (* ~2.3 MB/s, HP 97560 class *)
     dma_setup_ns = 30_000L;
+    (* HP 97560 class capacity: ~1.3 GB = 327680 4 KB blocks, the top
+       65536 (256 MB) reserved as the cell's swap partition. *)
+    disk_blocks = 327_680;
+    swap_blocks = 65_536;
   }
 
 let small =
@@ -51,18 +64,29 @@ let small =
 
 let with_nodes cfg n = { cfg with nodes = n }
 
-(* One processor per node means the 64-bit firewall permission vector caps
-   the machine at 64 nodes; beyond that [Firewall.bit_of_proc] would
-   silently alias processor 64 onto processor 0 and grant/revoke the wrong
-   bits. Reject such configurations up front. *)
+(* The firewall keeps one multi-word permission set per page, so the old
+   64-node ceiling (one 64-bit vector word) is gone; [max_nodes] only
+   rejects nonsense. Disk geometry must leave room for both a file area
+   and the swap partition: the swap area is the top [swap_blocks] of the
+   disk, and a config whose swap partition swallows the whole disk would
+   silently overlap file blocks with swap. *)
 let validate cfg =
   if cfg.nodes < 1 then invalid_arg "Flash.Config: need at least one node";
-  if cfg.nodes > 64 then
+  if cfg.nodes > max_nodes then
     invalid_arg
-      "Flash.Config: at most 64 nodes (the firewall permission vector is \
-       one 64-bit word per page)";
+      (Printf.sprintf "Flash.Config: at most %d nodes" max_nodes);
   if cfg.mem_pages_per_node < 1 then
-    invalid_arg "Flash.Config: need at least one memory page per node"
+    invalid_arg "Flash.Config: need at least one memory page per node";
+  if cfg.disk_blocks < 1 then
+    invalid_arg "Flash.Config: need a disk with at least one block";
+  if cfg.swap_blocks < 1 || cfg.swap_blocks >= cfg.disk_blocks then
+    invalid_arg
+      "Flash.Config: swap partition must fit on the disk with room left \
+       for file blocks (0 < swap_blocks < disk_blocks)"
+
+(* First block of the per-node swap partition: the top [swap_blocks] of
+   the disk. File-block allocation must stay strictly below this. *)
+let swap_base cfg = cfg.disk_blocks - cfg.swap_blocks
 
 let total_pages cfg = cfg.nodes * cfg.mem_pages_per_node
 

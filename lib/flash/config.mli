@@ -28,7 +28,15 @@ type t = {
   disk_track_ns : int64;  (** sequential (same-track) access *)
   disk_bytes_per_ns : float;
   dma_setup_ns : int64;
+  disk_blocks : int;  (** per-node disk capacity, in page-size blocks *)
+  swap_blocks : int;
+      (** size of the swap partition at the top of each disk; file blocks
+          live strictly below [swap_base] *)
 }
+
+(** Hard ceiling on [nodes]; generous (the sparse firewall representation
+    scales past the old one-vector-word limit of 64). *)
+val max_nodes : int
 
 (** The paper's four-node machine. *)
 val default : t
@@ -38,12 +46,16 @@ val small : t
 
 val with_nodes : t -> int -> t
 
-(** Reject configurations the hardware cannot represent: more than 64
-    nodes would overflow the per-page 64-bit firewall permission vector
-    (write permission would silently alias across processors). Raises
+(** Reject configurations the hardware cannot represent: node counts past
+    {!max_nodes}, or a disk geometry whose swap partition leaves no room
+    for file blocks (they would silently overlap). Raises
     [Invalid_argument]. Called by [Machine.create] and
     [Firewall.create]. *)
 val validate : t -> unit
+
+(** First block of each disk's swap partition ([disk_blocks] -
+    [swap_blocks]); the file system allocates strictly below it. *)
+val swap_base : t -> int
 
 val total_pages : t -> int
 

@@ -1,35 +1,53 @@
 exception Not_local_processor
 
+(* Sparse per-node storage: almost every page of a node carries that
+   node's boot-time default permission set (its owning cell's
+   processors); only pages with outstanding remote grants differ. Each
+   node therefore keeps one default set plus an exception table keyed by
+   local page index. Boot is O(1) per node ([set_node_default]) instead
+   of O(pages) vector stores, and the recovery scans
+   ([pages_writable_by_mask], [remote_writable_pages]) walk only the
+   exception table instead of every page of memory. *)
+type node_perms = {
+  mutable dflt : Procset.t;
+  except : (int, Procset.t) Hashtbl.t; (* local page index -> vector *)
+}
+
 type t = {
   cfg : Config.t;
-  bits : int64 array array; (* bits.(node).(local page index) *)
+  perms : node_perms array;
   mutable changes : int; (* count of firewall status updates, for benches *)
-  mutable notify : (pfn:Addr.pfn -> old_vec:int64 -> new_vec:int64 -> unit) option;
+  mutable notify :
+    (pfn:Addr.pfn -> old_vec:Procset.t -> new_vec:Procset.t -> unit) option;
       (* observer invoked on every real permission-vector change *)
 }
 
 let create cfg =
-  (* The permission vector is a single 64-bit word per page: a config with
-     more than 64 processors cannot be represented (bit_of_proc would
-     alias) and is rejected rather than silently mis-protected. *)
   Config.validate cfg;
   {
     cfg;
-    bits = Array.init cfg.Config.nodes (fun _ -> Array.make cfg.Config.mem_pages_per_node 0L);
+    perms =
+      Array.init cfg.Config.nodes (fun _ ->
+          { dflt = Procset.empty; except = Hashtbl.create 16 });
     changes = 0;
     notify = None;
   }
 
 let set_notify t f = t.notify <- Some f
 
-let bit_of_proc proc = Int64.shift_left 1L (proc land 63)
+let proc_mask procs = Procset.of_list procs
 
 let vector t ~pfn =
-  let node = Addr.node_of_pfn t.cfg pfn in
-  t.bits.(node).(Addr.local_index t.cfg pfn)
+  let np = t.perms.(Addr.node_of_pfn t.cfg pfn) in
+  match Hashtbl.find_opt np.except (Addr.local_index t.cfg pfn) with
+  | Some v -> v
+  | None -> np.dflt
 
 let allowed t ~pfn ~proc =
-  Int64.logand (vector t ~pfn) (bit_of_proc proc) <> 0L
+  let np = t.perms.(Addr.node_of_pfn t.cfg pfn) in
+  match Hashtbl.find_opt np.except (Addr.local_index t.cfg pfn) with
+  | Some v -> Procset.mem v proc
+  | None -> Procset.mem np.dflt proc
 
 let check_local t ~by ~pfn =
   (* Only the local processor can change the firewall bits for the memory
@@ -38,67 +56,95 @@ let check_local t ~by ~pfn =
 
 let set_vector t ~by ~pfn v =
   check_local t ~by ~pfn;
-  let node = Addr.node_of_pfn t.cfg pfn in
+  let np = t.perms.(Addr.node_of_pfn t.cfg pfn) in
   let i = Addr.local_index t.cfg pfn in
-  let old = t.bits.(node).(i) in
-  if old <> v then begin
+  let old =
+    match Hashtbl.find_opt np.except i with Some o -> o | None -> np.dflt
+  in
+  if not (Procset.equal old v) then begin
     t.changes <- t.changes + 1;
-    t.bits.(node).(i) <- v;
+    if Procset.equal v np.dflt then Hashtbl.remove np.except i
+    else Hashtbl.replace np.except i v;
     match t.notify with
     | Some f -> f ~pfn ~old_vec:old ~new_vec:v
     | None -> ()
   end
 
+(* Reset every page of [node] to permission set [v] in one operation: the
+   boot/reboot path (grant the owning cell's processors everything,
+   wiping any grants a previous incarnation handed out). Reported to the
+   observer as a single change on the node's first page. *)
+let set_node_default t ~by ~node v =
+  if node <> by then raise Not_local_processor;
+  let np = t.perms.(node) in
+  let old = np.dflt in
+  if not (Procset.equal old v) || Hashtbl.length np.except > 0 then begin
+    t.changes <- t.changes + 1;
+    np.dflt <- v;
+    Hashtbl.reset np.except;
+    match t.notify with
+    | Some f ->
+      f ~pfn:(Addr.first_pfn_of_node t.cfg node) ~old_vec:old ~new_vec:v
+    | None -> ()
+  end
+
 let grant t ~by ~pfn ~proc =
-  set_vector t ~by ~pfn (Int64.logor (vector t ~pfn) (bit_of_proc proc))
+  set_vector t ~by ~pfn (Procset.add (vector t ~pfn) proc)
 
 let revoke t ~by ~pfn ~proc =
-  set_vector t ~by ~pfn
-    (Int64.logand (vector t ~pfn) (Int64.lognot (bit_of_proc proc)))
+  set_vector t ~by ~pfn (Procset.remove (vector t ~pfn) proc)
 
 let grant_many t ~by ~pfn procs =
-  let v =
-    List.fold_left (fun acc p -> Int64.logor acc (bit_of_proc p)) (vector t ~pfn) procs
-  in
-  set_vector t ~by ~pfn v
+  set_vector t ~by ~pfn
+    (Procset.union (vector t ~pfn) (Procset.of_list procs))
 
 let revoke_all_remote t ~by ~pfn =
-  set_vector t ~by ~pfn (bit_of_proc by)
+  set_vector t ~by ~pfn (Procset.singleton by)
 
-let clear t ~by ~pfn = set_vector t ~by ~pfn 0L
+let clear t ~by ~pfn = set_vector t ~by ~pfn Procset.empty
 
 let remote_writable_pages t ~node =
-  let cfg = t.cfg in
-  let count = ref 0 in
-  let base = Addr.first_pfn_of_node cfg node in
-  for i = 0 to cfg.Config.mem_pages_per_node - 1 do
-    let v = t.bits.(node).(i) in
-    let others = Int64.logand v (Int64.lognot (bit_of_proc node)) in
-    if others <> 0L then incr count;
-    ignore base
-  done;
-  !count
-
-let proc_mask procs =
-  List.fold_left (fun acc p -> Int64.logor acc (bit_of_proc p)) 0L procs
+  let np = t.perms.(node) in
+  let has_others v = not (Procset.is_empty (Procset.remove v node)) in
+  let base =
+    if has_others np.dflt then
+      t.cfg.Config.mem_pages_per_node - Hashtbl.length np.except
+    else 0
+  in
+  Hashtbl.fold
+    (fun _ v acc -> if has_others v then acc + 1 else acc)
+    np.except base
 
 let pages_writable_by_mask t ~node ~mask =
-  let cfg = t.cfg in
-  let base = Addr.first_pfn_of_node cfg node in
-  let acc = ref [] in
-  for i = cfg.Config.mem_pages_per_node - 1 downto 0 do
-    if Int64.logand t.bits.(node).(i) mask <> 0L then acc := (base + i) :: !acc
-  done;
-  !acc
+  let np = t.perms.(node) in
+  let base = Addr.first_pfn_of_node t.cfg node in
+  if Procset.intersects np.dflt mask then begin
+    (* Default matches: every page qualifies except non-matching
+       exceptions (rare — only reachable when a mask names the node's own
+       cell). *)
+    let acc = ref [] in
+    for i = t.cfg.Config.mem_pages_per_node - 1 downto 0 do
+      let v =
+        match Hashtbl.find_opt np.except i with
+        | Some v -> v
+        | None -> np.dflt
+      in
+      if Procset.intersects v mask then acc := (base + i) :: !acc
+    done;
+    !acc
+  end
+  else
+    Hashtbl.fold
+      (fun i v acc ->
+        if Procset.intersects v mask then (base + i) :: acc else acc)
+      np.except []
+    |> List.sort compare
 
 let writable_by t ~proc =
-  let cfg = t.cfg in
   let acc = ref [] in
-  for node = cfg.Config.nodes - 1 downto 0 do
-    for i = cfg.Config.mem_pages_per_node - 1 downto 0 do
-      if Int64.logand t.bits.(node).(i) (bit_of_proc proc) <> 0L then
-        acc := (Addr.first_pfn_of_node cfg node + i) :: !acc
-    done
+  for node = t.cfg.Config.nodes - 1 downto 0 do
+    acc :=
+      pages_writable_by_mask t ~node ~mask:(Procset.singleton proc) @ !acc
   done;
   !acc
 

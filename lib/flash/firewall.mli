@@ -1,30 +1,30 @@
-(** The FLASH firewall: a 64-bit write-permission vector per 4 KB page of
-    main memory, stored and checked by the coherence controller of the
-    owning node (Section 4.2 of the paper).
+(** The FLASH firewall: a write-permission vector per 4 KB page of main
+    memory, stored and checked by the coherence controller of the owning
+    node (Section 4.2 of the paper). Permission vectors are processor
+    sets ({!Procset.t}): the 64-node prototype packed them into one
+    64-bit word; this model stores them sparsely (a per-node default set
+    plus exceptions for pages with remote grants), so machines of
+    hundreds of nodes are representable and whole-node scans cost
+    O(outstanding grants), not O(pages).
 
-    A write request to a page whose corresponding bit is not set fails with
-    a bus error. Only the local processor can change the firewall bits for
-    the memory of its node; attempts by remote processors raise
-    {!Not_local_processor}. *)
+    A write request to a page whose vector does not contain the writing
+    processor fails with a bus error. Only the local processor can change
+    the firewall bits for the memory of its node; attempts by remote
+    processors raise {!Not_local_processor}. *)
 
 exception Not_local_processor
 
 type t
 
-(** Raises [Invalid_argument] (via {!Config.validate}) when the
-    configuration has more than 64 nodes: the permission vector is one
-    64-bit word per page, so larger configs would silently alias write
-    permission across processors. *)
+(** Raises [Invalid_argument] (via {!Config.validate}) on configurations
+    past {!Config.max_nodes}. *)
 val create : Config.t -> t
 
-(** The permission-vector bit of a processor. *)
-val bit_of_proc : int -> int64
+(** Combined permission set of a list of processors. *)
+val proc_mask : int list -> Procset.t
 
-(** Combined permission-vector mask of a set of processors. *)
-val proc_mask : int list -> int64
-
-(** The raw 64-bit permission vector of a page. *)
-val vector : t -> pfn:Addr.pfn -> int64
+(** The permission vector of a page. *)
+val vector : t -> pfn:Addr.pfn -> Procset.t
 
 (** Does [proc] hold write permission to [pfn]? *)
 val allowed : t -> pfn:Addr.pfn -> proc:int -> bool
@@ -32,7 +32,12 @@ val allowed : t -> pfn:Addr.pfn -> proc:int -> bool
 (** All of these raise {!Not_local_processor} unless [by] is the processor
     of the node owning [pfn]. *)
 
-val set_vector : t -> by:int -> pfn:Addr.pfn -> int64 -> unit
+val set_vector : t -> by:int -> pfn:Addr.pfn -> Procset.t -> unit
+
+(** Reset every page of [node] to one permission set: the boot/reboot
+    fast path (O(1), clears all per-page exceptions). Reported to the
+    notify observer as a single change on the node's first page. *)
+val set_node_default : t -> by:int -> node:int -> Procset.t -> unit
 
 val grant : t -> by:int -> pfn:Addr.pfn -> proc:int -> unit
 
@@ -48,17 +53,20 @@ val revoke_all_remote : t -> by:int -> pfn:Addr.pfn -> unit
 val clear : t -> by:int -> pfn:Addr.pfn -> unit
 
 (** Number of this node's pages writable by at least one remote processor
-    (the paper's Section 4.2 firewall statistic). *)
+    (the paper's Section 4.2 firewall statistic). Walks only the
+    exception table. *)
 val remote_writable_pages : t -> node:int -> int
 
-(** Every pfn (machine-wide) writable by [proc]. Costs a full-machine
-    scan; preemptive discard uses {!pages_writable_by_mask} instead. *)
+(** Every pfn (machine-wide) writable by [proc]. Costs a scan of every
+    node's exception table; preemptive discard uses
+    {!pages_writable_by_mask} instead. *)
 val writable_by : t -> proc:int -> Addr.pfn list
 
 (** [node]'s pfns whose permission vector intersects [mask], in ascending
-    order. One pass over a single node's vectors; used by preemptive
+    order. One pass over the node's exception table (plus a full-page
+    sweep only if the node's default itself matches); used by preemptive
     discard with the combined mask of all dead processors. *)
-val pages_writable_by_mask : t -> node:int -> mask:int64 -> Addr.pfn list
+val pages_writable_by_mask : t -> node:int -> mask:Procset.t -> Addr.pfn list
 
 (** Total number of firewall status changes so far (performance statistic). *)
 val change_count : t -> int
@@ -67,4 +75,4 @@ val change_count : t -> int
     actually changes (grants, revokes, recovery mass-revocation); used by
     the observability layer to trace hardware-level firewall traffic. *)
 val set_notify :
-  t -> (pfn:Addr.pfn -> old_vec:int64 -> new_vec:int64 -> unit) -> unit
+  t -> (pfn:Addr.pfn -> old_vec:Procset.t -> new_vec:Procset.t -> unit) -> unit

@@ -23,6 +23,8 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     page_hash = Hashtbl.create 1024;
     frames = Hashtbl.create 1024;
     free_frames = [];
+    free_frame_count = 0;
+    total_frames = 0;
     reserved_loans = [];
     files = Hashtbl.create 64;
     files_by_ino = Hashtbl.create 64;
@@ -49,8 +51,11 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     release_queue = Sim.Mailbox.create ();
     import_cache = [];
     readahead = Hashtbl.create 16;
+    pending_releases = Hashtbl.create 16;
+    flush_epoch = 0;
     swap_table = Hashtbl.create 64;
     swap_blocks_used = 0;
+    swap_free_blocks = [];
     suspected = [];
     alert_votes = [];
     false_alerts = [];
@@ -59,6 +64,8 @@ let make (mcfg : Flash.Config.t) ~id ~nodes : Types.cell =
     recovery_barrier_joined = (0, 0);
     alloc_preference = [];
     clock_hand_targets = [];
+    swap_hint = 0;
+    salvaged_by_home = Hashtbl.create 16;
     rr_cpu = 0;
     wax_slot = kmem_base + 8;
     kernel_threads = [];
@@ -80,7 +87,8 @@ let init_frames (sys : Types.system) (c : Types.cell) =
         frames := pfn :: !frames
       done)
     c.Types.cell_nodes;
-  c.Types.free_frames <- List.rev !frames
+  Types.set_free c (List.rev !frames);
+  c.Types.total_frames <- c.Types.free_frame_count
 
 (* Grant this cell's processors write access to all of its own memory;
    remote cells get nothing until an export grants them a page. The vector
@@ -90,14 +98,9 @@ let init_frames (sys : Types.system) (c : Types.cell) =
    new kernel never exported. *)
 let init_firewall (sys : Types.system) (c : Types.cell) =
   let fw = Flash.Machine.firewall sys.Types.machine in
-  let cfg = sys.Types.mcfg in
   let own = Flash.Firewall.proc_mask c.Types.cell_nodes in
   List.iter
-    (fun node ->
-      let first = Flash.Addr.first_pfn_of_node cfg node in
-      for pfn = first to first + cfg.Flash.Config.mem_pages_per_node - 1 do
-        Flash.Firewall.set_vector fw ~by:node ~pfn own
-      done)
+    (fun node -> Flash.Firewall.set_node_default fw ~by:node ~node own)
     c.Types.cell_nodes
 
 (* Boot runs inside a simulation thread. *)
@@ -153,6 +156,9 @@ let boot (sys : Types.system) (c : Types.cell) =
         loop ())
   in
   c.Types.kernel_threads <- reaper :: c.Types.kernel_threads;
+  let now = Sim.Engine.now sys.Types.eng in
+  if Int64.compare now sys.Types.last_boot_ns > 0 then
+    sys.Types.last_boot_ns <- now;
   Types.bump c "cell.boots"
 
 (* Spawn a kernel thread whose uncaught exceptions panic this cell (a

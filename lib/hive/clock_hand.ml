@@ -14,8 +14,6 @@
 
 let sweep_period_ns = 200_000_000L
 
-let low_water = 64 (* local free frames below this = pressure *)
-
 (* One sweep; returns the number of frames released. *)
 let sweep (sys : Types.system) (c : Types.cell) =
   let released = ref 0 in
@@ -44,8 +42,12 @@ let sweep (sys : Types.system) (c : Types.cell) =
         end)
       !victims
   end;
-  (* 2. Local pressure: drop idle clean cached pages, then swap. *)
-  if Page_alloc.free_count c < low_water then begin
+  (* 2. Local pressure (watermark scaled to the frames this cell owns):
+     drop idle clean cached pages, then swap. *)
+  if
+    Page_alloc.under_pressure c
+      ~pct:sys.Types.params.Params.clock_hand_low_pct
+  then begin
     released := !released + Page_alloc.reclaim sys c ~want:32;
     released := !released + Swap.swap_out_idle sys c ~want:16
   end;

@@ -13,6 +13,5 @@
    reclaims idle cached file pages. *)
 
 val sweep_period_ns : int64
-val low_water : int
 val sweep : Types.system -> Types.cell -> int
 val start : Types.system -> Types.cell -> unit

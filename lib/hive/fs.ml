@@ -112,9 +112,21 @@ let create_local (sys : Types.system) (home : Types.cell) ~path ~content =
     f.Types.disk_content <- Bytes.copy content;
     f
   | None ->
-    home.Types.next_ino <- home.Types.next_ino + 1;
     let psize = page_size sys in
     let blocks = max 1 ((Bytes.length content + psize - 1) / psize) in
+    (* File blocks grow upward from the front of the disk; the swap area
+       owns the top [swap_blocks]. A file that would cross [swap_base]
+       must be refused, not silently overlap the swap partition (the old
+       fixed 1-MiB swap base made that collision possible on any disk
+       whose file area outgrew it). *)
+    if
+      home.Types.next_disk_block + blocks + 8
+      > Flash.Config.swap_base sys.Types.mcfg
+    then begin
+      Types.bump home "fs.enospc";
+      raise (Types.Syscall_error Types.ENOSPC)
+    end;
+    home.Types.next_ino <- home.Types.next_ino + 1;
     let f =
       {
         Types.fid = { home = home.Types.cell_id; ino = home.Types.next_ino };
@@ -389,12 +401,21 @@ let rec get_page (sys : Types.system) (c : Types.cell) vnode ~page ~writable
           else ra.Types.ra_window <- 1;
           ra.Types.ra_window
       in
+      let epoch = c.Types.flush_epoch in
       match
         Rpc.call sys ~from:c ~target:data_home ~op:locate_op
           (P_locate
              { ino = sfid.Types.ino; page; npages; writable;
                gen = opened_gen })
       with
+      | Ok (P_located _) when c.Types.flush_epoch <> epoch ->
+        (* Recovery flushed this cell while the locate was in flight: the
+           reply's frames (and the export records the home created for
+           them) predate the preemptive discard. Wait out the round and
+           relocate instead of binding stale frame numbers. *)
+        Types.bump c "fs.stale_locates";
+        Gate.pass c;
+        get_page sys c vnode ~page ~writable ~opened_gen ~usage
       | Ok (P_located { pages; gen }) -> (
         let imported =
           List.map
@@ -652,29 +673,48 @@ let register_handlers () =
                    a generation bump landing mid-batch must fail the whole
                    batch before any page is exported — never export a mix
                    of pre- and post-discard pages. *)
-                let pfs =
-                  List.map
-                    (fun pg ->
-                      (* Block allocation for pages a remote writer
-                         extends. *)
-                      if writable && pg * psize >= f.Types.size then
-                        Sim.Engine.delay
-                          sys.Types.params.Params.fs_block_alloc_ns;
-                      (pg, page_in sys cell f pg))
-                    wanted
-                in
-                if f.Types.generation > gen then Error Types.EIO
-                else begin
-                  let pages =
-                    List.map
-                      (fun (pg, pf) ->
-                        Share.export sys cell pf ~client:src ~writable;
-                        if writable then pf.Types.dirty <- true;
-                        (pg, pf.Types.pfn))
-                      pfs
-                  in
-                  Ok (P_located { pages; gen = f.Types.generation })
-                end
+                (* Hold each frame for the rest of the batch: later
+                   page_ins block on disk, and an unreferenced,
+                   not-yet-exported frame is fair game for the clock
+                   hand's reclaim sweep. Pins are registered as they are
+                   taken so a mid-batch failure (OOM, kill) still
+                   releases the earlier ones; the guard against pins = 0
+                   covers a frame force-freed (truncate) under the pin. *)
+                let pinned = ref [] in
+                Fun.protect
+                  ~finally:(fun () ->
+                    List.iter
+                      (fun (pf : Types.pfdat) ->
+                        if pf.Types.pins > 0 then
+                          pf.Types.pins <- pf.Types.pins - 1)
+                      !pinned)
+                  (fun () ->
+                    let pfs =
+                      List.map
+                        (fun pg ->
+                          (* Block allocation for pages a remote writer
+                             extends. *)
+                          if writable && pg * psize >= f.Types.size then
+                            Sim.Engine.delay
+                              sys.Types.params.Params.fs_block_alloc_ns;
+                          let pf = page_in sys cell f pg in
+                          pf.Types.pins <- pf.Types.pins + 1;
+                          pinned := pf :: !pinned;
+                          (pg, pf))
+                        wanted
+                    in
+                    if f.Types.generation > gen then Error Types.EIO
+                    else begin
+                      let pages =
+                        List.map
+                          (fun (pg, pf) ->
+                            Share.export sys cell pf ~client:src ~writable;
+                            if writable then pf.Types.dirty <- true;
+                            (pg, pf.Types.pfn))
+                          pfs
+                      in
+                      Ok (P_located { pages; gen = f.Types.generation })
+                    end)
               in
               if all_cached && not invalidating then
                 (* Hit in the file cache: serviced entirely at interrupt

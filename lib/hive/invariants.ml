@@ -27,8 +27,8 @@ let cells_in_vector (sys : Types.system) vec ~but =
   |> List.filter_map (fun (c : Types.cell) ->
          if
            c.Types.cell_id <> but
-           && Int64.logand vec (Flash.Firewall.proc_mask c.Types.cell_nodes)
-              <> 0L
+           && Flash.Procset.intersects vec
+                (Flash.Firewall.proc_mask c.Types.cell_nodes)
          then Some c.Types.cell_id
          else None)
 
@@ -55,7 +55,12 @@ let check_firewall (sys : Types.system) ~cells =
   List.iter
     (fun (c : Types.cell) ->
       let own_mask = Flash.Firewall.proc_mask c.Types.cell_nodes in
-      let remote_mask = Int64.lognot own_mask in
+      let remote_mask =
+        Flash.Procset.diff
+          (Flash.Firewall.proc_mask
+             (List.init sys.Types.mcfg.Flash.Config.nodes Fun.id))
+          own_mask
+      in
       List.iter
         (fun node ->
           List.iter
@@ -63,7 +68,7 @@ let check_firewall (sys : Types.system) ~cells =
               let vec = Flash.Firewall.vector fw ~pfn in
               let remotes =
                 cells_in_vector sys
-                  (Int64.logand vec remote_mask)
+                  (Flash.Procset.inter vec remote_mask)
                   ~but:c.Types.cell_id
               in
               let tracker =
@@ -79,9 +84,10 @@ let check_firewall (sys : Types.system) ~cells =
               | None ->
                 note
                   (v "firewall-grant"
-                     "cell %d pfn %d: remote write permission %Ld but no \
+                     "cell %d pfn %d: remote write permission %s but no \
                       pfdat tracks the frame"
-                     c.Types.cell_id pfn vec)
+                     c.Types.cell_id pfn
+                     (Flash.Procset.to_string vec))
               | Some pf ->
                 List.iter
                   (fun r ->

@@ -20,7 +20,17 @@ let return_op = Rpc.Op.declare "page_alloc.return"
 
 exception Out_of_memory
 
-let free_count (c : Types.cell) = List.length c.Types.free_frames
+let free_count (c : Types.cell) = c.Types.free_frame_count
+
+(* Local memory pressure: free frames below [pct] percent of the frames
+   the cell owns (floor of 8 so tiny test cells still have a watermark).
+   Used by the clock hand's low-water check and by Wax's pressure
+   classification, replacing the old fixed 32-frame threshold that was
+   meaningless for both tiny and 64-cell shapes. *)
+let low_water (c : Types.cell) ~pct =
+  max 8 (c.Types.total_frames * pct / 100)
+
+let under_pressure (c : Types.cell) ~pct = free_count c < low_water c ~pct
 
 (* Try to reclaim idle cached pages (a trivial stand-in for the VM clock
    hand): drop clean, unreferenced, unexported file pages. *)
@@ -48,17 +58,12 @@ let reclaim (_sys : Types.system) (c : Types.cell) ~want =
       | Types.Anon_obj _ -> ());
       Pfdat.remove c pf;
       Hashtbl.remove c.Types.frames pf.Types.pfn;
-      c.Types.free_frames <- pf.Types.pfn :: c.Types.free_frames)
+      Types.push_free c pf.Types.pfn)
     !victims;
   !reclaimed
 
 (* Grab one local free frame if available. *)
-let take_local (c : Types.cell) =
-  match c.Types.free_frames with
-  | pfn :: rest ->
-    c.Types.free_frames <- rest;
-    Some pfn
-  | [] -> None
+let take_local (c : Types.cell) = Types.take_free c
 
 (* Loan [count] frames to [client]: memory-home side of borrowing. *)
 let loan_frames (sys : Types.system) (home : Types.cell) ~client ~count =
@@ -89,7 +94,7 @@ let borrow_from (sys : Types.system) (c : Types.cell) ~home ~count =
         let pf = Pfdat.alloc_extended c ~pfn in
         pf.Types.borrowed_from <- Some home;
         Hashtbl.replace c.Types.frames pfn pf;
-        c.Types.free_frames <- c.Types.free_frames @ [ pfn ])
+        Types.push_free_last c pfn)
       pfns;
     pfns
   | Ok _ | Error _ -> []
@@ -101,8 +106,7 @@ let return_frame (sys : Types.system) (c : Types.cell) (pf : Types.pfdat) =
   | None -> invalid_arg "return_frame: not borrowed"
   | Some home ->
     Pfdat.free_extended c pf;
-    c.Types.free_frames <-
-      List.filter (fun p -> p <> pf.Types.pfn) c.Types.free_frames;
+    Types.remove_free c pf.Types.pfn;
     ignore
       (Rpc.call sys ~from:c ~target:home ~op:return_op
          (P_return { pfns = [ pf.Types.pfn ] }))
@@ -122,8 +126,7 @@ let alloc_frame ?(kernel_only = false) ?preferred (sys : Types.system)
            && not kernel_only -> (
       match borrow_from sys c ~home ~count:1 with
       | pfn :: _ ->
-        c.Types.free_frames <-
-          List.filter (fun p -> p <> pfn) c.Types.free_frames;
+        Types.remove_free c pfn;
         Some pfn
       | [] -> None)
     | _ -> None
@@ -172,7 +175,7 @@ let free_frame (sys : Types.system) (c : Types.cell) (pf : Types.pfdat) =
   if pf.Types.borrowed_from <> None then return_frame sys c pf
   else begin
     Hashtbl.remove c.Types.frames pf.Types.pfn;
-    c.Types.free_frames <- pf.Types.pfn :: c.Types.free_frames
+    Types.push_free c pf.Types.pfn
   end
 
 let registered = ref false
@@ -196,7 +199,7 @@ let register_handlers () =
               | None -> ());
               cell.Types.reserved_loans <-
                 List.filter (fun p -> p <> pfn) cell.Types.reserved_loans;
-              cell.Types.free_frames <- pfn :: cell.Types.free_frames;
+              Types.push_free cell pfn;
               ignore sys)
             pfns;
           Types.Immediate (Ok Types.P_unit)

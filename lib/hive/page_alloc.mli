@@ -17,6 +17,12 @@ val borrow_op : Rpc.Op.t
 val return_op : Rpc.Op.t
 exception Out_of_memory
 val free_count : Types.cell -> int
+
+(** Pressure watermark: [pct] percent of the frames the cell owns, with a
+    floor of 8 so tiny test cells still have a meaningful threshold. *)
+val low_water : Types.cell -> pct:int -> int
+
+val under_pressure : Types.cell -> pct:int -> bool
 val reclaim : Types.system -> Types.cell -> want:int -> int
 val take_local : Types.cell -> int option
 val loan_frames :

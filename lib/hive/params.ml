@@ -95,6 +95,20 @@ type t = {
   (* Wax *)
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
+  wax_pressure_pct : int;
+      (* a cell is under memory pressure when its free frames drop below
+         this percentage of the frames it owns (floor of 8); replaces the
+         old fixed 32-frame threshold, which was meaningless for both
+         tiny test cells and 64-cell machines *)
+  wax_swap_want : int;
+      (* frames a swap hint asks a pressured cell to push to swap; the
+         cell's own thread validates the hint before acting *)
+  wax_pref_len : int;
+      (* length of the allocation-preference hint list (the k cells with
+         the most free memory, selected without sorting every cell) *)
+  clock_hand_low_pct : int;
+      (* clock-hand local-pressure watermark, as a percentage of owned
+         frames (floor of 8); was a fixed 64 frames *)
   (* Remote-page import cache and batched sharing protocol *)
   enable_import_cache : bool;
       (* park released read-only imports in a per-cell cache instead of
@@ -161,6 +175,10 @@ let default =
     salvage_copy_ns = 9_000L;
     wax_period_ns = 100_000_000L;
     wax_scan_cost_ns = 50_000L;
+    wax_pressure_pct = 5;
+    wax_swap_want = 16;
+    wax_pref_len = 4;
+    clock_hand_low_pct = 1;
     enable_import_cache = true;
     import_cache_pages = 512;
     fault_readahead_max = 8;

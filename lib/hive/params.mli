@@ -63,6 +63,17 @@ type t = {
   salvage_copy_ns : int64;
   wax_period_ns : int64;
   wax_scan_cost_ns : int64;
+  wax_pressure_pct : int;
+      (** a cell is under memory pressure when its free frames drop below
+          this percentage of the frames it owns (floor of 8) *)
+  wax_swap_want : int;
+      (** frames a swap hint asks a pressured cell to push to swap; the
+          cell's own thread validates the hint before acting *)
+  wax_pref_len : int;
+      (** length of the allocation-preference hint list *)
+  clock_hand_low_pct : int;
+      (** clock-hand local-pressure watermark, as a percentage of owned
+          frames (floor of 8) *)
   enable_import_cache : bool;
   import_cache_pages : int;
   fault_readahead_max : int;

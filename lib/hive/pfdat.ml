@@ -14,6 +14,7 @@ let make ~pfn ~table_cell : Types.pfdat =
     lid = None;
     dirty = false;
     refs = 0;
+    pins = 0;
     exported_to = [];
     imported_from = None;
     write_granted_to = [];
@@ -64,6 +65,7 @@ let free_extended (c : Types.cell) (pf : Types.pfdat) =
   Hashtbl.remove c.Types.frames pf.Types.pfn
 
 let is_idle (pf : Types.pfdat) =
-  pf.Types.refs = 0 && pf.Types.exported_to = [] && pf.Types.loaned_to = None
+  pf.Types.refs = 0 && pf.Types.pins = 0 && pf.Types.exported_to = []
+  && pf.Types.loaned_to = None
 
 let iter_pages (c : Types.cell) f = Hashtbl.iter (fun _ pf -> f pf) c.Types.page_hash

@@ -100,6 +100,13 @@ let invalidate_clients (sys : Types.system) (home : Types.cell) ~clients
    were imported under a promise the page would not change under them. *)
 let export (sys : Types.system) (home : Types.cell) (pf : Types.pfdat)
     ~client ~writable =
+  (* Record the export before any blocking work: the record is what pins
+     the pfdat against the clock hand's reclaim. A locate that paged this
+     frame in moments ago would otherwise lose it to a sweep during the
+     invalidation RPCs or the bookkeeping delay below, and the reply
+     would ship a pfn already back on the free list. *)
+  if not (List.mem client pf.Types.exported_to) then
+    pf.Types.exported_to <- client :: pf.Types.exported_to;
   (if writable && needs_invalidate pf ~client then
      (* Only file pages are ever parked (see [cacheable]), so anon
         exports never need the callback. *)
@@ -112,9 +119,36 @@ let export (sys : Types.system) (home : Types.cell) (pf : Types.pfdat)
   Sim.Engine.delay sys.Types.params.Params.fault_export_ns;
   Types.bump home "share.exports";
   page_event sys home "page.export" pf ~peer:client;
-  if not (List.mem client pf.Types.exported_to) then
-    pf.Types.exported_to <- client :: pf.Types.exported_to;
   if writable then Wild_write.grant_for_export sys home pf ~client
+
+(* Client-side release/re-import ordering. A release frees the local
+   binding *before* its RPC reaches the data home, so another process on
+   the same cell could fault the lid back in during that window; the
+   stale release would then retire the export record belonging to the
+   new binding, silently severing the home's invalidation channel. Each
+   in-flight release registers its lid here; [import] stalls on the lid
+   until the release lands (either way — a failed release is counted and
+   hinted separately). *)
+let mark_pending (client : Types.cell) (lid : Types.logical_id) =
+  let n =
+    Option.value ~default:0
+      (Hashtbl.find_opt client.Types.pending_releases lid)
+  in
+  Hashtbl.replace client.Types.pending_releases lid (n + 1)
+
+let clear_pending (client : Types.cell) (lid : Types.logical_id) =
+  match Hashtbl.find_opt client.Types.pending_releases lid with
+  | Some n when n > 1 ->
+    Hashtbl.replace client.Types.pending_releases lid (n - 1)
+  | Some _ -> Hashtbl.remove client.Types.pending_releases lid
+  | None -> ()
+
+let await_no_pending (sys : Types.system) (client : Types.cell)
+    (lid : Types.logical_id) =
+  while Hashtbl.mem client.Types.pending_releases lid do
+    Types.bump client "share.release_import_stalls";
+    Sim.Engine.delay sys.Types.params.Params.fault_import_ns
+  done
 
 (* Client-side mirror of the home's grant bookkeeping. Kept here (rather
    than ad hoc in callers) so every import path — file fault, syscall
@@ -146,6 +180,7 @@ let cache_hit (client : Types.cell) (pf : Types.pfdat) =
    separate fields within the pfdat. *)
 let import (sys : Types.system) (client : Types.cell) ~pfn ~data_home ~lid
     ~gen ~writable =
+  await_no_pending sys client lid;
   Sim.Engine.delay sys.Types.params.Params.fault_import_ns;
   Types.bump client "share.imports";
   match Pfdat.lookup client lid with
@@ -196,15 +231,20 @@ let release_now (sys : Types.system) (client : Types.cell)
   else Pfdat.free_extended client pf;
   Types.bump client "share.releases";
   page_event sys client "page.release" pf ~peer:home;
-  if List.mem home client.Types.live_set then
-    match
-      Rpc.call sys ~from:client ~target:home ~op:release_op
-        (P_release { lid })
-    with
-    | Ok _ -> true
-    | Error _ ->
-      release_failed sys client ~home;
-      false
+  if List.mem home client.Types.live_set then begin
+    mark_pending client lid;
+    Fun.protect
+      ~finally:(fun () -> clear_pending client lid)
+      (fun () ->
+        match
+          Rpc.call sys ~from:client ~target:home ~op:release_op
+            (P_release { lid })
+        with
+        | Ok _ -> true
+        | Error _ ->
+          release_failed sys client ~home;
+          false)
+  end
   else true
 
 (* Only idle read-only file imports from a live home are parked: anything
@@ -298,6 +338,7 @@ let release_many (sys : Types.system) (client : Types.cell)
             Pfdat.free_extended client pf;
             Types.bump client "share.releases";
             page_event sys client "page.release" pf ~peer:home;
+            mark_pending client lid;
             batched := (home, lid) :: !batched
           end
         | _ ->
@@ -305,23 +346,30 @@ let release_many (sys : Types.system) (client : Types.cell)
           if pf.Types.extended then Pfdat.free_extended client pf)
     pfs;
   let homes = List.sort_uniq compare (List.map fst !batched) in
-  List.iter
-    (fun home ->
-      let lids =
-        List.filter_map
-          (fun (h, lid) -> if h = home then Some lid else None)
-          !batched
-      in
-      match
-        Rpc.call sys ~from:client ~target:home ~op:release_batch_op
-          ~arg_bytes:(32 + (24 * List.length lids))
-          (P_release_batch { lids })
-      with
-      | Ok _ -> ()
-      | Error e ->
-        List.iter (fun _ -> release_failed sys client ~home) lids;
-        failed := Some e)
-    homes;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Unblock stalled re-importers even if this thread is killed
+         mid-batch (recovery, signals): every marked lid is cleared
+         exactly once. *)
+      List.iter (fun (_, lid) -> clear_pending client lid) !batched)
+    (fun () ->
+      List.iter
+        (fun home ->
+          let lids =
+            List.filter_map
+              (fun (h, lid) -> if h = home then Some lid else None)
+              !batched
+          in
+          match
+            Rpc.call sys ~from:client ~target:home ~op:release_batch_op
+              ~arg_bytes:(32 + (24 * List.length lids))
+              (P_release_batch { lids })
+          with
+          | Ok _ -> ()
+          | Error e ->
+            List.iter (fun _ -> release_failed sys client ~home) lids;
+            failed := Some e)
+        homes);
   match !failed with Some e -> raise (Types.Syscall_error e) | None -> ()
 
 (* Drop an import binding without an RPC (used during recovery, when the

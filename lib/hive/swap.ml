@@ -3,16 +3,18 @@
    swap partition"; Table 3.4 lists "which processes to swap" among the
    Wax-driven policies).
 
-   Each cell owns a swap area on its local disk. Swapping out an idle
-   anonymous page writes it to swap and frees the frame; the next fault
-   finds it neither in the page cache nor in the COW record path and
-   swaps it back in. Only pages homed on this cell (its own anonymous
+   Each cell owns a swap area on its local disk: the top
+   [Config.swap_blocks] blocks ([Config.swap_base] upward — derived from
+   the disk geometry, so file blocks can never overlap the swap area no
+   matter the machine size). Swapping out an idle anonymous page writes
+   it to a swap block and frees the frame; the next fault finds it
+   neither in the page cache nor in the COW record path and swaps it back
+   in from that block. Only pages homed on this cell (its own anonymous
    data) are swapped: the firewall rules already forbid trusting remote
    frames for kernel-critical data, and remote clients simply re-import
    after a swap-in. *)
 
-(* Swap area: blocks [swap_base, swap_base + swap_blocks) of each disk. *)
-let swap_base = 1 lsl 20
+let swap_base (sys : Types.system) = Flash.Config.swap_base sys.Types.mcfg
 
 let page_size (sys : Types.system) = sys.Types.mcfg.Flash.Config.page_size
 
@@ -27,27 +29,47 @@ let is_swappable (pf : Types.pfdat) =
   | Some { Types.tag = Types.Anon_obj _; _ } -> true
   | _ -> false
 
+(* Allocate a block within the swap area: reuse a freed block, else bump.
+   None when the partition is full. *)
+let alloc_swap_block (sys : Types.system) (c : Types.cell) =
+  match c.Types.swap_free_blocks with
+  | b :: rest ->
+    c.Types.swap_free_blocks <- rest;
+    Some b
+  | [] ->
+    if c.Types.swap_blocks_used >= sys.Types.mcfg.Flash.Config.swap_blocks
+    then None
+    else begin
+      let b = c.Types.swap_blocks_used in
+      c.Types.swap_blocks_used <- c.Types.swap_blocks_used + 1;
+      Some b
+    end
+
 (* Swap one anonymous page out to the local swap partition. *)
 let swap_out_page (sys : Types.system) (c : Types.cell) (pf : Types.pfdat) =
   match pf.Types.lid with
-  | Some ({ Types.tag = Types.Anon_obj _; _ } as lid) ->
-    let psize = page_size sys in
-    let addr = Flash.Addr.addr_of_pfn sys.Types.mcfg pf.Types.pfn in
-    let data =
-      Flash.Memory.read sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr
-        psize
-    in
-    let disk = Flash.Machine.disk sys.Types.machine (Types.boss_proc c) in
-    Flash.Disk.write sys.Types.eng disk
-      ~block:(swap_base + c.Types.swap_blocks_used)
-      ~bytes:psize;
-    c.Types.swap_blocks_used <- c.Types.swap_blocks_used + 1;
-    Hashtbl.replace c.Types.swap_table lid data;
-    Pfdat.remove c pf;
-    Hashtbl.remove c.Types.frames pf.Types.pfn;
-    c.Types.free_frames <- pf.Types.pfn :: c.Types.free_frames;
-    Types.bump c "swap.outs";
-    true
+  | Some ({ Types.tag = Types.Anon_obj _; _ } as lid) -> (
+    match alloc_swap_block sys c with
+    | None ->
+      Types.bump c "swap.partition_full";
+      false
+    | Some block ->
+      let psize = page_size sys in
+      let addr = Flash.Addr.addr_of_pfn sys.Types.mcfg pf.Types.pfn in
+      let data =
+        Flash.Memory.read sys.Types.eng (mem sys) ~by:(Types.boss_proc c) addr
+          psize
+      in
+      let disk = Flash.Machine.disk sys.Types.machine (Types.boss_proc c) in
+      Flash.Disk.write sys.Types.eng disk
+        ~block:(swap_base sys + block)
+        ~bytes:psize;
+      Hashtbl.replace c.Types.swap_table lid (block, data);
+      Pfdat.remove c pf;
+      Hashtbl.remove c.Types.frames pf.Types.pfn;
+      Types.push_free c pf.Types.pfn;
+      Types.bump c "swap.outs";
+      true)
   | _ -> false
 
 (* Reclaim up to [want] frames by swapping idle anonymous pages out. *)
@@ -64,19 +86,22 @@ let swap_out_idle (sys : Types.system) (c : Types.cell) ~want =
     0 !victims
 
 (* Fault-time swap-in: if the page was swapped, restore it into a fresh
-   frame and re-insert it in the page cache. *)
+   frame and re-insert it in the page cache. The freed swap block is
+   recycled for later swap-outs. *)
 let swap_in (sys : Types.system) (c : Types.cell) lid =
   match Hashtbl.find_opt c.Types.swap_table lid with
   | None -> None
-  | Some data ->
+  | Some (block, data) ->
     let psize = page_size sys in
     let pf = Page_alloc.alloc_frame sys c in
     let disk = Flash.Machine.disk sys.Types.machine (Types.boss_proc c) in
-    Flash.Disk.read sys.Types.eng disk ~block:swap_base ~bytes:psize;
+    Flash.Disk.read sys.Types.eng disk ~block:(swap_base sys + block)
+      ~bytes:psize;
     Flash.Memory.write sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
       (Flash.Addr.addr_of_pfn sys.Types.mcfg pf.Types.pfn)
       data;
     Hashtbl.remove c.Types.swap_table lid;
+    c.Types.swap_free_blocks <- block :: c.Types.swap_free_blocks;
     Pfdat.insert c lid pf;
     Types.bump c "swap.ins";
     Some pf

@@ -3,15 +3,17 @@
    swap partition"; Table 3.4 lists "which processes to swap" among the
    Wax-driven policies).
 
-   Each cell owns a swap area on its local disk. Swapping out an idle
-   anonymous page writes it to swap and frees the frame; the next fault
-   finds it neither in the page cache nor in the COW record path and
-   swaps it back in. Only pages homed on this cell (its own anonymous
-   data) are swapped: the firewall rules already forbid trusting remote
-   frames for kernel-critical data, and remote clients simply re-import
-   after a swap-in. *)
+   Each cell owns a swap area on its local disk: the top
+   [Config.swap_blocks] blocks, starting at [Config.swap_base] — derived
+   from the disk geometry, so file blocks can never overlap the swap area.
+   Swapping out an idle anonymous page writes it to a swap block and frees
+   the frame; the next fault finds it neither in the page cache nor in the
+   COW record path and swaps it back in from that block. Only pages homed
+   on this cell (its own anonymous data) are swapped: the firewall rules
+   already forbid trusting remote frames for kernel-critical data, and
+   remote clients simply re-import after a swap-in. *)
 
-val swap_base : int
+val swap_base : Types.system -> int
 val page_size : Types.system -> int
 val mem : Types.system -> Flash.Memory.t
 val is_swappable : Types.pfdat -> bool

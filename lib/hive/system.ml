@@ -39,10 +39,23 @@ let reintegrate (sys : Types.system) cell_id =
   Array.iter
     (fun (o : Types.cell) ->
       if o.Types.cell_id <> cell_id && Types.cell_alive o then begin
-        let doomed = ref [] in
-        Pfdat.iter_pages o (fun pf ->
-            if pf.Types.salvaged_from = Some cell_id then
-              doomed := pf :: !doomed);
+        (* The per-home salvage index makes this O(pages salvaged from the
+           rebooting cell) instead of a sweep over every frame the survivor
+           owns. Entries can be stale (the frame was since reclaimed and
+           reused), so each is validated against the frame table by
+           physical identity before purging. *)
+        let doomed =
+          Hashtbl.find_all o.Types.salvaged_by_home cell_id
+          |> List.filter (fun (pf : Types.pfdat) ->
+                 pf.Types.salvaged_from = Some cell_id
+                 &&
+                 match Hashtbl.find_opt o.Types.frames pf.Types.pfn with
+                 | Some cur -> cur == pf
+                 | None -> false)
+        in
+        while Hashtbl.mem o.Types.salvaged_by_home cell_id do
+          Hashtbl.remove o.Types.salvaged_by_home cell_id
+        done;
         List.iter
           (fun (pf : Types.pfdat) ->
             List.iter
@@ -56,7 +69,7 @@ let reintegrate (sys : Types.system) cell_id =
               o.Types.processes;
             Types.bump o "vm.salvage_purged";
             Page_alloc.free_frame sys o pf)
-          !doomed
+          doomed
       end)
     sys.Types.cells;
   (* Repair the hardware: memory zeroed, processor restarted. *)
@@ -65,10 +78,17 @@ let reintegrate (sys : Types.system) cell_id =
      but the page cache does not. *)
   Hashtbl.reset c.Types.page_hash;
   Hashtbl.reset c.Types.frames;
-  c.Types.free_frames <- [];
+  Types.set_free c [];
+  c.Types.total_frames <- 0;
+  Hashtbl.reset c.Types.swap_table;
+  c.Types.swap_blocks_used <- 0;
+  c.Types.swap_free_blocks <- [];
+  c.Types.swap_hint <- 0;
+  Hashtbl.reset c.Types.salvaged_by_home;
   c.Types.reserved_loans <- [];
   c.Types.import_cache <- [];
   Hashtbl.reset c.Types.readahead;
+  Hashtbl.reset c.Types.pending_releases;
   Hashtbl.iter
     (fun _ (f : Types.file) -> Hashtbl.reset f.Types.cached_pages)
     c.Types.files;
@@ -78,6 +98,13 @@ let reintegrate (sys : Types.system) cell_id =
   c.Types.user_gate_open <- true;
   c.Types.gate_waiters <- [];
   Hashtbl.reset c.Types.pending_calls;
+  (* Work queued in the old incarnation must not leak into the new one:
+     a queued-service closure would run against reset kernel state, and a
+     released import still in the drain queue would be re-parked by the
+     reborn cell's drain thread — a dangling binding whose data home
+     already cleaned up during recovery. *)
+  ignore (Sim.Mailbox.clear c.Types.rpc_queue);
+  ignore (Sim.Mailbox.clear c.Types.release_queue);
   (* A rebooted kernel starts its call-id sequence from zero again; the
      bumped incarnation keeps the new ids (and any messages still in
      flight from the old life) from colliding across the reboot. The
@@ -135,6 +162,11 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
       mcfg;
       params;
       cells;
+      (* Node→cell ownership never changes after boot; the index makes
+         [cell_of_node] O(1) on the wild-write and fault paths. *)
+      node_owner =
+        Array.init mcfg.Flash.Config.nodes (fun n -> n / nodes_per_cell);
+      last_boot_ns = 0L;
       proc_table = Hashtbl.create 256;
       next_pid = 0;
       use_agreement_oracle = oracle;
@@ -175,8 +207,8 @@ let boot ?(mcfg = Flash.Config.default) ?(params = Params.default)
         Sim.Event.instant sys.Types.events
           ~args:
             [ ("pfn", Sim.Event.Int pfn);
-              ("old_vec", Sim.Event.I64 old_vec);
-              ("new_vec", Sim.Event.I64 new_vec) ]
+              ("old_vec", Sim.Event.Str (Flash.Procset.to_string old_vec));
+              ("new_vec", Sim.Event.Str (Flash.Procset.to_string new_vec)) ]
           ~cat:Sim.Event.Firewall "firewall.bits_changed");
   Failure.install sys;
   sys.Types.reintegrate_fn <- Some (fun id -> reintegrate sys id);

@@ -20,6 +20,7 @@ type errno =
   | EHOSTDOWN (* cell owning the resource is down *)
   | EBUSY (* server shed the request: queue saturated or mid-recovery *)
   | ETIMEDOUT (* end-to-end deadline budget exhausted across retries *)
+  | ENOSPC (* file area would grow into the swap partition *)
 
 exception Syscall_error of errno
 
@@ -33,6 +34,7 @@ let errno_to_string = function
   | EHOSTDOWN -> "EHOSTDOWN"
   | EBUSY -> "EBUSY"
   | ETIMEDOUT -> "ETIMEDOUT"
+  | ENOSPC -> "ENOSPC"
 
 (* File identity: the data home cell plus an inode number local to it. *)
 type fid = { home : cell_id; ino : int }
@@ -59,6 +61,10 @@ type pfdat = {
   mutable lid : logical_id option;
   mutable dirty : bool;
   mutable refs : int;
+  mutable pins : int;
+      (* short-term holds by in-flight kernel operations (e.g. a locate
+         batch between page-in and export): keeps the frame out of
+         reclaim/swap without counting as a process mapping *)
   (* logical level *)
   mutable exported_to : cell_id list; (* data-home side: client cells *)
   mutable imported_from : cell_id option; (* client side: the data home *)
@@ -223,6 +229,10 @@ type cell = {
   page_hash : (logical_id, pfdat) Hashtbl.t;
   frames : (int, pfdat) Hashtbl.t; (* by pfn: own + borrowed frames *)
   mutable free_frames : int list;
+  mutable free_frame_count : int;
+      (* maintained alongside [free_frames] so Wax's once-per-period
+         publish (and every pressure check) is O(1), not O(free list) *)
+  mutable total_frames : int; (* frames owned at boot, for pressure pcts *)
   mutable reserved_loans : int list; (* own frames currently loaned out *)
   (* fs *)
   files : (string, file) Hashtbl.t; (* files homed on this cell, by path *)
@@ -253,9 +263,23 @@ type cell = {
          recently used first; bounded by Params.import_cache_pages *)
   readahead : (fid, ra_stream) Hashtbl.t;
       (* per-file sequential fault streams (remote files only) *)
-  swap_table : (logical_id, Bytes.t) Hashtbl.t;
-      (* anonymous pages swapped out to this cell's swap partition *)
+  pending_releases : (logical_id, int) Hashtbl.t;
+      (* lids with a release RPC in flight to their data home. A re-import
+         of such a lid must wait for the release to land, or the stale
+         release would retire the export record of the *new* binding at
+         the home (lost invalidation channel). *)
+  mutable flush_epoch : int;
+      (* bumped by recovery's import flush. A fault thread already past
+         the gate when recovery begins snapshots this before its locate
+         RPC: a mismatch afterwards means the reply predates the homes'
+         preemptive discard — its frame numbers and the export record it
+         created are gone, so the fault must relocate, not bind. *)
+  swap_table : (logical_id, int * Bytes.t) Hashtbl.t;
+      (* anonymous pages swapped out to this cell's swap partition:
+         lid -> (disk block within the swap area, contents) *)
   mutable swap_blocks_used : int;
+  mutable swap_free_blocks : int list;
+      (* swap blocks freed by swap-ins, reused before the bump allocator *)
   (* failure detection / recovery *)
   mutable suspected : cell_id list;
   mutable alert_votes : (cell_id * cell_id) list; (* accuser, suspect *)
@@ -269,6 +293,15 @@ type cell = {
   (* wax hints *)
   mutable alloc_preference : cell_id list;
   mutable clock_hand_targets : cell_id list; (* cells under memory pressure *)
+  mutable swap_hint : int;
+      (* frames the Wax coordinator suggests this cell push to swap; the
+         cell's own Wax thread validates and acts on it (hints-only
+         contract: the coordinator never swaps on another cell's behalf) *)
+  mutable salvaged_by_home : (cell_id, pfdat) Hashtbl.t;
+      (* index of salvaged pages by their dead data home, so reintegration
+         purges in O(salvaged from that home) instead of sweeping every
+         page of every survivor; entries are validated against [frames]
+         at purge time (a reclaimed frame may leave a stale entry) *)
   mutable rr_cpu : int; (* round-robin CPU assignment cursor *)
   mutable wax_slot : int; (* published word Wax reads/writes *)
   (* threads owned by this kernel, killed on panic *)
@@ -285,6 +318,12 @@ type system = {
   mcfg : Flash.Config.t;
   params : Params.t;
   cells : cell array;
+  node_owner : cell_id array;
+      (* node -> owning cell, fixed at boot; O(1) [cell_of_node] instead
+         of a scan over every cell's node list *)
+  mutable last_boot_ns : int64;
+      (* simulated time the slowest cell finished booting (the large-
+         machine boot-cost metric) *)
   proc_table : (pid, process) Hashtbl.t;
   mutable next_pid : int;
   mutable use_agreement_oracle : bool;
@@ -348,13 +387,47 @@ type system = {
 }
 
 let cell_of_node (sys : system) node =
-  let found = ref None in
-  Array.iter
-    (fun c -> if List.mem node c.cell_nodes then found := Some c)
-    sys.cells;
-  match !found with
-  | Some c -> c
-  | None -> invalid_arg "cell_of_node: node not owned by any cell"
+  if node < 0 || node >= Array.length sys.node_owner then
+    invalid_arg "cell_of_node: node not owned by any cell";
+  sys.cells.(sys.node_owner.(node))
+
+(* Free-frame pool mutators: every site goes through these so
+   [free_frame_count] can never drift from the list. *)
+
+let push_free (c : cell) pfn =
+  c.free_frames <- pfn :: c.free_frames;
+  c.free_frame_count <- c.free_frame_count + 1
+
+(* Append variant: borrowed frames go to the tail so local frames are
+   preferred by allocation. *)
+let push_free_last (c : cell) pfn =
+  c.free_frames <- c.free_frames @ [ pfn ];
+  c.free_frame_count <- c.free_frame_count + 1
+
+let take_free (c : cell) =
+  match c.free_frames with
+  | pfn :: rest ->
+    c.free_frames <- rest;
+    c.free_frame_count <- c.free_frame_count - 1;
+    Some pfn
+  | [] -> None
+
+let remove_free (c : cell) pfn =
+  let removed = ref 0 in
+  c.free_frames <-
+    List.filter
+      (fun p ->
+        if p = pfn then begin
+          incr removed;
+          false
+        end
+        else true)
+      c.free_frames;
+  c.free_frame_count <- c.free_frame_count - !removed
+
+let set_free (c : cell) pfns =
+  c.free_frames <- pfns;
+  c.free_frame_count <- List.length pfns
 
 let cell sys id = sys.cells.(id)
 

@@ -95,8 +95,8 @@ let anon_create (sys : Types.system) (c : Types.cell) (leaf : Types.cow_ref)
   pf
 
 (* Get the frame for an anon page recorded at node [r] (local or remote). *)
-let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
-    ~writable =
+let rec anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref)
+    ~page ~writable =
   if r.Types.cow_cell = c.Types.cell_id then begin
     let node_id = Cow.node_id sys r in
     let lid =
@@ -141,10 +141,18 @@ let anon_get (sys : Types.system) (c : Types.cell) (r : Types.cow_ref) ~page
     match node_id with
     | None -> Error Types.EFAULT
     | Some node_id -> (
+      let epoch = c.Types.flush_epoch in
       match
         Rpc.call sys ~from:c ~target:owner ~op:anon_locate_op
           (P_anon_locate { node_id; page; writable })
       with
+      | Ok (P_anon_page { pfn = _ }) when c.Types.flush_epoch <> epoch ->
+        (* Recovery flushed this cell while the locate was in flight: the
+           reply's frame may already be discarded at the owner. Wait out
+           the round and relocate. *)
+        Types.bump c "vm.stale_locates";
+        Gate.pass c;
+        anon_get sys c r ~page ~writable
       | Ok (P_anon_page { pfn }) ->
         let lid =
           { Types.tag = Types.Anon_obj { cow_home = owner; node_id }; page }
@@ -406,8 +414,7 @@ let try_salvage (sys : Types.system) (c : Types.cell) (pf : Types.pfdat)
           Types.bump c "vm.salvage_skipped";
           None
         | Some pfn ->
-          c.Types.free_frames <-
-            List.filter (fun q -> q <> pfn) c.Types.free_frames;
+          Types.remove_free c pfn;
           Sim.Engine.delay par.Params.salvage_copy_ns;
           let data =
             Flash.Memory.peek (mem sys)
@@ -430,6 +437,10 @@ let try_salvage (sys : Types.system) (c : Types.cell) (pf : Types.pfdat)
    a dead home whose memory outlived its processors are salvaged into
    local frames (see [try_salvage]) instead of discarded. *)
 let flush_remote_bindings ?(dead = []) (sys : Types.system) (c : Types.cell) =
+  (* Invalidate locate replies still in flight: any fault thread that
+     snapshotted the old epoch before its RPC must relocate, not bind a
+     pre-recovery frame (see [Types.flush_epoch]). *)
+  c.Types.flush_epoch <- c.Types.flush_epoch + 1;
   List.iter
     (fun (p : Types.process) ->
       let doomed = ref [] in
@@ -469,6 +480,8 @@ let flush_remote_bindings ?(dead = []) (sys : Types.system) (c : Types.cell) =
       | Some (lid, npf), Some h ->
         npf.Types.salvaged_from <- Some h;
         Pfdat.insert c lid npf;
+        (* Index by home so reintegration can purge without a full sweep. *)
+        Hashtbl.add c.Types.salvaged_by_home h npf;
         Types.bump c "vm.salvaged_pages"
       | _ -> ())
     !imports;
@@ -550,7 +563,7 @@ let preemptive_discard (sys : Types.system) (c : Types.cell) ~dead =
     (fun pfn ->
       c.Types.reserved_loans <-
         List.filter (fun q -> q <> pfn) c.Types.reserved_loans;
-      c.Types.free_frames <- pfn :: c.Types.free_frames)
+      Types.push_free c pfn)
     reclaimed;
   (* Drop borrowed frames whose memory home died. *)
   let dead_borrows = ref [] in
@@ -562,8 +575,7 @@ let preemptive_discard (sys : Types.system) (c : Types.cell) ~dead =
     c.Types.frames;
   List.iter
     (fun pf ->
-      c.Types.free_frames <-
-        List.filter (fun q -> q <> pf.Types.pfn) c.Types.free_frames;
+      Types.remove_free c pf.Types.pfn;
       Pfdat.free_extended c pf)
     !dead_borrows;
   !discarded
@@ -583,8 +595,11 @@ let register_handlers () =
           in
           match Pfdat.lookup cell lid with
           | Some pf ->
-            Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
+            (* Export first: the record pins the pfdat, so the service
+               delay below cannot race a reclaim sweep that would drop
+               the still-unreferenced frame. *)
             Share.export sys cell pf ~client:src ~writable;
+            Sim.Engine.delay sys.Types.params.Params.fault_home_vm_ns;
             Types.Immediate (Ok (P_anon_page { pfn = pf.Types.pfn }))
           | None -> Types.Immediate (Error Types.ENOENT))
         | _ -> Types.Immediate (Error Types.EFAULT))

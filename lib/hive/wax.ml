@@ -7,17 +7,23 @@
    word; the coordinator thread reads them all with ordinary loads — no
    careful protocol, because Wax is allowed to die on any cell failure),
    and feeds policy hints back to the kernels: which cells to allocate
-   memory from, which cells the VM clock hand should target, etc.
+   memory from, which cells the VM clock hand should target, and which
+   cells should push idle pages to swap.
 
-   Each kernel sanity-checks the hints it receives, so a corrupt Wax can
-   hurt performance but not correctness. Because Wax uses resources from
-   all cells, it exits whenever any cell fails; recovery forks a fresh
-   incarnation that rebuilds its view from scratch. *)
+   Hints are *only* hints. The coordinator never acts on another cell's
+   behalf: it deposits each hint where the target cell's kernel (and its
+   own Wax thread) can see it, and the target validates the hint against
+   its local state before acting. Each kernel sanity-checks everything it
+   receives, so a corrupt Wax can hurt performance but not correctness.
+   Because Wax uses resources from all cells, it exits whenever any cell
+   fails; recovery forks a fresh incarnation that rebuilds its view from
+   scratch. *)
 
 let mem (sys : Types.system) = Flash.Machine.memory sys.Types.machine
 
 (* Kernel-side sanity check before accepting an allocation-preference
-   hint: every id must be a live, distinct cell. *)
+   hint: every id must be a live, distinct cell (dead, duplicate and
+   out-of-range ids are all caught by the live-set membership test). *)
 let sanity_check_hint (c : Types.cell) hint =
   let ok =
     List.for_all (fun id -> List.mem id c.Types.live_set) hint
@@ -32,6 +38,43 @@ let sanity_check_hint (c : Types.cell) hint =
     false
   end
 
+(* Same contract for the clock-hand target hint: previously the
+   coordinator stored targets into other cells unchecked. *)
+let sanity_check_clock_hint (c : Types.cell) hint =
+  let ok =
+    List.for_all (fun id -> List.mem id c.Types.live_set) hint
+    && List.length (List.sort_uniq compare hint) = List.length hint
+  in
+  if ok then begin
+    c.Types.clock_hand_targets <- hint;
+    true
+  end
+  else begin
+    Types.bump c "wax.rejected_hints";
+    false
+  end
+
+(* Swap hint: the coordinator deposits a want count; the cell's own Wax
+   thread picks it up here, checks it against *local* state (a cell that
+   is not actually under pressure refuses to swap — a corrupt Wax cannot
+   force needless paging, and the want is bounded), and only then runs
+   the swap-out on its own processors. *)
+let act_on_swap_hint (sys : Types.system) (c : Types.cell) =
+  let want = c.Types.swap_hint in
+  if want <> 0 then begin
+    c.Types.swap_hint <- 0;
+    let p = sys.Types.params in
+    if
+      want > 0
+      && want <= max p.Params.wax_swap_want (c.Types.total_frames / 8)
+      && Page_alloc.under_pressure c ~pct:p.Params.wax_pressure_pct
+    then begin
+      Types.bump c "wax.swap_hints_acted";
+      ignore (Swap.swap_out_idle sys c ~want)
+    end
+    else Types.bump c "wax.rejected_hints"
+  end
+
 let publish_local_state (sys : Types.system) (c : Types.cell) =
   (* Free-frame count, written into the shared slot with a plain store. *)
   Flash.Memory.write_i64 sys.Types.eng (mem sys) ~by:(Types.boss_proc c)
@@ -40,9 +83,30 @@ let publish_local_state (sys : Types.system) (c : Types.cell) =
 
 exception Wax_dies
 
+(* The [k] cells with the most free frames, by repeated selection —
+   O(cells * k) with k fixed by Params, instead of sorting the whole
+   cell list every policy period. *)
+let top_k_free states k =
+  let rec pick acc n remaining =
+    if n = 0 then List.rev acc
+    else
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+        let best =
+          List.fold_left
+            (fun (bi, bf) (i, f) -> if f > bf then (i, f) else (bi, bf))
+            (List.hd remaining) (List.tl remaining)
+        in
+        pick (fst best :: acc) (n - 1)
+          (List.filter (fun (i, _) -> i <> fst best) remaining)
+  in
+  pick [] k states
+
 (* The coordinator thread's policy pass: read every cell's published
-   state (plain loads — a bus error kills Wax) and push hints. *)
+   state (plain loads — a bus error kills Wax) and deposit hints. *)
 let policy_pass (sys : Types.system) (home : Types.cell) =
+  let p = sys.Types.params in
   let states =
     List.map
       (fun id ->
@@ -56,24 +120,30 @@ let policy_pass (sys : Types.system) (home : Types.cell) =
         (id, Int64.to_int v))
       home.Types.live_set
   in
-  (* Page-allocator hint: prefer cells with the most free memory. *)
-  let pref =
-    List.sort (fun (_, a) (_, b) -> compare b a) states |> List.map fst
-  in
-  (* Clock-hand hint: cells under pressure (fewest free frames). *)
+  (* Page-allocator hint: the cells with the most free memory. *)
+  let pref = top_k_free states p.Params.wax_pref_len in
+  (* Clock-hand / swap hint: cells under pressure relative to their own
+     size (fewest free frames). *)
   let pressured =
-    List.filter (fun (_, free) -> free < 32) states |> List.map fst
+    List.filter
+      (fun (id, free) ->
+        free
+        < Page_alloc.low_water sys.Types.cells.(id)
+            ~pct:p.Params.wax_pressure_pct)
+      states
+    |> List.map fst
   in
   List.iter
     (fun id ->
       let c = sys.Types.cells.(id) in
       if Types.cell_alive c then begin
         ignore (sanity_check_hint c pref);
-        c.Types.clock_hand_targets <- pressured;
-        (* Swapper policy: cells under memory pressure push idle
-           anonymous pages to their swap partition. *)
+        ignore (sanity_check_clock_hint c pressured);
+        (* Swapper policy: suggest that cells under memory pressure push
+           idle anonymous pages to their swap partition. Deposit only —
+           the pressured cell's own thread validates and executes. *)
         if List.mem id pressured then
-          ignore (Swap.swap_out_idle sys c ~want:16)
+          c.Types.swap_hint <- p.Params.wax_swap_want
       end)
     home.Types.live_set
 
@@ -106,7 +176,10 @@ let start (sys : Types.system) =
                 Gate.pass c;
                 Sim.Engine.delay p.Params.wax_scan_cost_ns;
                 publish_local_state sys c;
-                if c.Types.cell_id = coordinator then policy_pass sys c
+                if c.Types.cell_id = coordinator then policy_pass sys c;
+                (* Act on any swap hint deposited for *this* cell, with
+                   local validation. *)
+                if Types.cell_alive c then act_on_swap_hint sys c
               done
             with
             | Wax_dies | Flash.Memory.Bus_error _ ->

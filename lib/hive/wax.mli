@@ -9,13 +9,24 @@
    and feeds policy hints back to the kernels: which cells to allocate
    memory from, which cells the VM clock hand should target, etc.
 
-   Each kernel sanity-checks the hints it receives, so a corrupt Wax can
-   hurt performance but not correctness. Because Wax uses resources from
-   all cells, it exits whenever any cell fails; recovery forks a fresh
+   Hints are *only* hints: the coordinator never acts on another cell's
+   behalf. It deposits allocation-preference, clock-hand-target and
+   swap-out hints; the receiving kernel (or the cell's own Wax thread, for
+   swap) validates each against local state before acting. Each kernel
+   sanity-checks everything it receives, so a corrupt Wax can hurt
+   performance but not correctness. Because Wax uses resources from all
+   cells, it exits whenever any cell fails; recovery forks a fresh
    incarnation that rebuilds its view from scratch. *)
 
 val mem : Types.system -> Flash.Memory.t
 val sanity_check_hint : Types.cell -> Types.cell_id list -> bool
+val sanity_check_clock_hint : Types.cell -> Types.cell_id list -> bool
+
+(** Validate and (if the cell really is under local pressure) execute a
+    deposited swap-out hint; always clears the hint slot. Rejections bump
+    [wax.rejected_hints]. *)
+val act_on_swap_hint : Types.system -> Types.cell -> unit
+
 val publish_local_state : Types.system -> Types.cell -> unit
 exception Wax_dies
 val policy_pass : Types.system -> Types.cell -> unit

@@ -51,24 +51,43 @@ let test_firewall_grant_revoke () =
   Alcotest.(check int) "no longer remotely writable" 0
     (Flash.Firewall.remote_writable_pages fw ~node:1)
 
-let test_config_rejects_over_64_nodes () =
-  (* The firewall permission vector is one 64-bit word per page: a config
-     with more than 64 processors used to alias bit_of_proc silently
-     (proc land 63), granting the wrong processors write access. *)
-  let too_big = { cfg with Flash.Config.nodes = 65 } in
-  let expect_invalid f =
-    match f () with
-    | exception Invalid_argument _ -> ()
-    | _ -> Alcotest.fail "expected Invalid_argument for a 65-node config"
+let test_config_large_machines () =
+  (* The permission vector used to be a single 64-bit word per page, so
+     any config past 64 processors either aliased bit_of_proc (proc land
+     63) or was rejected outright. The multi-word vectors lift the cap to
+     [Config.max_nodes]; what must now hold is that grants past processor
+     63 never alias a low processor's bit. *)
+  let big =
+    { cfg with Flash.Config.nodes = 65; mem_pages_per_node = 8 }
   in
-  expect_invalid (fun () -> Flash.Firewall.create too_big);
-  expect_invalid (fun () ->
-      Flash.Machine.create (Sim.Engine.create ()) too_big);
-  (* 64 nodes is still representable. *)
-  let max_cfg =
-    { cfg with Flash.Config.nodes = 64; mem_pages_per_node = 8 }
+  let fw = Flash.Firewall.create big in
+  let pfn64 = 64 * big.Flash.Config.mem_pages_per_node in
+  (* Proc 64 would have aliased proc 0 under the old masking. *)
+  Flash.Firewall.grant fw ~by:64 ~pfn:pfn64 ~proc:64;
+  Alcotest.(check bool) "proc 64 granted" true
+    (Flash.Firewall.allowed fw ~pfn:pfn64 ~proc:64);
+  Alcotest.(check bool) "proc 0 not aliased" false
+    (Flash.Firewall.allowed fw ~pfn:pfn64 ~proc:0);
+  Flash.Firewall.grant fw ~by:64 ~pfn:pfn64 ~proc:1;
+  Flash.Firewall.revoke fw ~by:64 ~pfn:pfn64 ~proc:64;
+  Alcotest.(check bool) "proc 64 revoked" false
+    (Flash.Firewall.allowed fw ~pfn:pfn64 ~proc:64);
+  Alcotest.(check bool) "proc 1 grant survives" true
+    (Flash.Firewall.allowed fw ~pfn:pfn64 ~proc:1);
+  (* The cap is now the sparse-representation bound, not a word size. *)
+  let too_big =
+    { cfg with Flash.Config.nodes = Flash.Config.max_nodes + 1 }
   in
-  ignore (Flash.Firewall.create max_cfg)
+  (match Flash.Firewall.create too_big with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument past max_nodes");
+  (* Geometry validation: the swap area must fit inside the disk. *)
+  (match
+     Flash.Config.validate
+       { cfg with Flash.Config.swap_blocks = cfg.Flash.Config.disk_blocks }
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for swap covering disk")
 
 let test_firewall_pages_writable_by_mask () =
   let fw = Flash.Firewall.create cfg in
@@ -438,8 +457,8 @@ let suite =
     Alcotest.test_case "firewall changes are local-processor-only" `Quick
       test_firewall_local_only;
     Alcotest.test_case "firewall grant/revoke" `Quick test_firewall_grant_revoke;
-    Alcotest.test_case "config with >64 nodes rejected" `Quick
-      test_config_rejects_over_64_nodes;
+    Alcotest.test_case "large-machine configs and geometry validated" `Quick
+      test_config_large_machines;
     Alcotest.test_case "firewall masked page scan" `Quick
       test_firewall_pages_writable_by_mask;
     Alcotest.test_case "firewall writable_by scan" `Quick

@@ -17,6 +17,7 @@ let () =
       ("traffic", Test_traffic.suite);
       ("observability", Test_observability.suite);
       ("wax-swap", Test_wax_swap.suite);
+      ("wax-scale", Test_wax_scale.suite);
       ("fuzz", Test_fuzz.suite);
       ("bench", Test_bench.suite);
     ]
